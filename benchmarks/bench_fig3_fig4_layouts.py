@@ -1,0 +1,60 @@
+"""Figs. 3 & 4: the Morton and L4D index layouts, printed.
+
+Regenerates the paper's layout illustrations: the Morton (N-order)
+map of an 8x8 grid (Fig. 3) and the L4D band structure of a 128x128
+grid with SIZE=8 (Fig. 4, corners only — 16384 cells don't fit a page
+there either).
+"""
+
+import numpy as np
+
+from repro.curves import get_ordering
+
+from conftest import run_once, write_result
+
+
+def _render_morton_8x8() -> str:
+    m = get_ordering("morton", 8, 8).index_map()
+    lines = ["Fig. 3 — Morton layout of an 8 x 8 matrix (icell at (ix, iy)):", ""]
+    for ix in range(8):
+        lines.append("  " + " ".join(f"{m[ix, iy]:3d}" for iy in range(8)))
+    return "\n".join(lines)
+
+
+def _render_l4d_128() -> str:
+    o = get_ordering("l4d", 128, 128, size=8)
+    m = o.index_map()
+    lines = [
+        "Fig. 4 — L4D layout of a 128 x 128 matrix, SIZE=8 (check points):",
+        "",
+        f"  (0,0)     -> {m[0, 0]:5d}   (paper: 0)",
+        f"  (0,7)     -> {m[0, 7]:5d}   (paper: 7)",
+        f"  (1,0)     -> {m[1, 0]:5d}   (paper: 8)",
+        f"  (1,7)     -> {m[1, 7]:5d}   (paper: 15)",
+        f"  (126,7)   -> {m[126, 7]:5d}   (paper: 1015)",
+        f"  (127,7)   -> {m[127, 7]:5d}   (paper: 1023)",
+        f"  (0,8)     -> {m[0, 8]:5d}   (paper: 1024)",
+        f"  (0,63)    -> {m[0, 63]:5d}   (paper: 7*128*8 + 7 = 7175)",
+        f"  (127,127) -> {m[127, 127]:5d}   (paper: 16383)",
+        "",
+        "  first band, first 4 column segments (ix = 0..3, iy = 0..7):",
+    ]
+    for ix in range(4):
+        lines.append("    " + " ".join(f"{m[ix, iy]:4d}" for iy in range(8)))
+    return "\n".join(lines)
+
+
+def test_fig3_morton_layout(benchmark):
+    text = run_once(benchmark, _render_morton_8x8)
+    # the four 2x2 Z-blocks of the first quadrant
+    m = get_ordering("morton", 8, 8).index_map()
+    assert m[0, 0] == 0 and m[0, 1] == 1 and m[1, 0] == 2 and m[1, 1] == 3
+    write_result("fig3_morton_layout", text)
+
+
+def test_fig4_l4d_layout(benchmark):
+    text = run_once(benchmark, _render_l4d_128)
+    m = get_ordering("l4d", 128, 128, size=8).index_map()
+    assert m[0, 8] == 1024 and m[127, 127] == 16383
+    assert len(np.unique(m)) == 128 * 128
+    write_result("fig4_l4d_layout", text)

@@ -1,0 +1,147 @@
+"""Real wall-clock microbenchmarks of the numpy kernels.
+
+Unlike the table/figure regenerators (which run on the modeled
+machine), these time the actual Python engine with pytest-benchmark.
+They demonstrate that the *layout prerequisites* the paper establishes
+for vectorization carry over to numpy: SoA attribute views beat
+strided AoS views, the redundant gather beats the four-corner gather,
+and the branchless position updates beat the masked (branchy) one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import (
+    POSITION_UPDATE_KERNELS,
+    accumulate_redundant,
+    accumulate_standard,
+    interpolate_redundant,
+    interpolate_standard,
+)
+from repro.curves import get_ordering
+from repro.grid import GridSpec, RedundantFields
+from repro.particles import make_storage
+from repro.particles.sorting import sort_in_place, sort_out_of_place
+
+N = 200_000
+NCX = NCY = 64
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    rng = np.random.default_rng(7)
+    ordering = get_ordering("morton", NCX, NCY)
+    grid = GridSpec(NCX, NCY, 0.0, 4 * np.pi, 0.0, 4 * np.pi)
+    fields = RedundantFields(grid, ordering)
+    fields.load_field_from_grid(
+        rng.random((NCX, NCY)), rng.random((NCX, NCY))
+    )
+    ix = rng.integers(0, NCX, N)
+    iy = rng.integers(0, NCY, N)
+    data = dict(
+        ordering=ordering,
+        fields=fields,
+        ix=ix,
+        iy=iy,
+        icell=np.sort(ordering.encode(ix, iy)),
+        dx=rng.random(N),
+        dy=rng.random(N),
+        ex=rng.random((NCX, NCY)),
+        ey=rng.random((NCX, NCY)),
+    )
+    return data
+
+
+class TestAccumulate:
+    def test_accumulate_redundant_wallclock(self, benchmark, setup):
+        rho = np.zeros_like(setup["fields"].rho_1d)
+        benchmark(accumulate_redundant, rho, setup["icell"], setup["dx"], setup["dy"])
+        assert rho.sum() > 0
+
+    def test_accumulate_standard_wallclock(self, benchmark, setup):
+        rho = np.zeros((NCX, NCY))
+        benchmark(accumulate_standard, rho, setup["ix"], setup["iy"], setup["dx"], setup["dy"])
+        assert rho.sum() > 0
+
+
+class TestInterpolate:
+    def test_interpolate_redundant_wallclock(self, benchmark, setup):
+        out = benchmark(
+            interpolate_redundant,
+            setup["fields"].e_1d, setup["icell"], setup["dx"], setup["dy"],
+        )
+        assert len(out[0]) == N
+
+    def test_interpolate_standard_wallclock(self, benchmark, setup):
+        out = benchmark(
+            interpolate_standard,
+            setup["ex"], setup["ey"], setup["ix"], setup["iy"],
+            setup["dx"], setup["dy"],
+        )
+        assert len(out[0]) == N
+
+
+def _push_particles(layout, setup, rng):
+    s = make_storage(layout, N, store_coords=True)
+    s.set_state(
+        setup["icell"], setup["dx"], setup["dy"],
+        rng.normal(0, 3, N), rng.normal(0, 3, N),
+        setup["ix"], setup["iy"],
+    )
+    return s
+
+
+@pytest.mark.parametrize("variant", ["branch", "modulo", "bitwise"])
+def test_push_variants_wallclock(benchmark, setup, variant):
+    rng = np.random.default_rng(11)
+    particles = _push_particles("soa", setup, rng)
+    push = POSITION_UPDATE_KERNELS[variant]
+    benchmark(push, particles, NCX, NCY, setup["ordering"])
+    assert np.asarray(particles.icell).max() < setup["ordering"].ncells_allocated
+
+
+@pytest.mark.parametrize("layout", ["soa", "aos"])
+def test_push_layouts_wallclock(benchmark, setup, layout):
+    """SoA vs AoS on the bitwise push — the §IV-C1 comparison."""
+    rng = np.random.default_rng(11)
+    particles = _push_particles(layout, setup, rng)
+    push = POSITION_UPDATE_KERNELS["bitwise"]
+    benchmark(push, particles, NCX, NCY, setup["ordering"])
+
+
+@pytest.mark.parametrize("ordering_name", ["row-major", "l4d", "morton", "hilbert"])
+def test_encode_cost_wallclock(benchmark, setup, ordering_name):
+    """Raw (ix, iy) -> icell conversion cost per ordering (§IV-B)."""
+    o = get_ordering(ordering_name, NCX, NCY)
+    benchmark(o.encode, setup["ix"], setup["iy"])
+
+
+class TestSorting:
+    def test_sort_out_of_place_wallclock(self, benchmark, setup):
+        rng = np.random.default_rng(13)
+
+        def run():
+            s = _push_particles("soa", setup, rng)
+            # shuffle keys to make the sort do work
+            s.icell[:] = rng.permutation(np.asarray(s.icell))
+            return sort_out_of_place(s, setup["ordering"].ncells_allocated)
+
+        out = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert np.all(np.diff(np.asarray(out.icell)) >= 0)
+
+    def test_sort_in_place_wallclock(self, benchmark, setup):
+        rng = np.random.default_rng(13)
+        small = 20_000  # cycle-following is pure python: keep it small
+
+        def run():
+            s = make_storage("soa", small, store_coords=False)
+            s.set_state(
+                rng.integers(0, 4096, small),
+                rng.random(small), rng.random(small),
+                rng.normal(size=small), rng.normal(size=small),
+            )
+            sort_in_place(s, 4096)
+            return s
+
+        out = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert np.all(np.diff(np.asarray(out.icell)) >= 0)

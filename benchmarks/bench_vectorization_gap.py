@@ -1,0 +1,111 @@
+"""The vectorization claim, measured in this engine's own terms.
+
+The paper's single-core story is "rewrite so the compiler vectorizes".
+The Python rendering of that contrast is whole-array numpy kernels
+(the data-parallel form) vs the scalar per-particle reference kernels
+(`repro.core.reference` — the same math, one particle at a time).  The
+gap here is one-to-two orders of magnitude rather than the ~2-4x of
+AVX2, but it is produced by the same property of the code: the layout
+and control flow either admit a data-parallel formulation or they
+don't — and only the variants the paper calls vectorizable admit one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import accumulate_redundant, interpolate_redundant
+from repro.core.reference import (
+    accumulate_redundant_ref,
+    interpolate_redundant_ref,
+)
+from repro.curves import get_ordering
+
+from conftest import write_result
+
+N = 20_000  # small: the scalar oracle is O(N) python bytecode
+NCX = NCY = 32
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(5)
+    o = get_ordering("morton", NCX, NCY)
+    icell = o.encode(rng.integers(0, NCX, N), rng.integers(0, NCY, N))
+    return {
+        "ordering": o,
+        "icell": np.sort(icell),
+        "dx": rng.random(N),
+        "dy": rng.random(N),
+        "e_1d": rng.random((o.ncells_allocated, 8)),
+    }
+
+
+def test_vectorized_accumulate(benchmark, data):
+    rho = np.zeros((data["ordering"].ncells_allocated, 4))
+    benchmark(accumulate_redundant, rho, data["icell"], data["dx"], data["dy"])
+
+
+def test_scalar_accumulate(benchmark, data):
+    rho = np.zeros((data["ordering"].ncells_allocated, 4))
+    benchmark.pedantic(
+        accumulate_redundant_ref, args=(rho, data["icell"], data["dx"], data["dy"]),
+        rounds=2, iterations=1,
+    )
+
+
+def test_vectorized_interpolate(benchmark, data):
+    benchmark(
+        interpolate_redundant, data["e_1d"], data["icell"], data["dx"], data["dy"]
+    )
+
+
+def test_scalar_interpolate(benchmark, data):
+    benchmark.pedantic(
+        interpolate_redundant_ref,
+        args=(data["e_1d"], data["icell"], data["dx"], data["dy"]),
+        rounds=2, iterations=1,
+    )
+
+
+def test_gap_summary(benchmark, data):
+    """Measure both forms directly and record the speedup factors."""
+    import time
+
+    def timed(fn, *args, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn(*args)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    def measure():
+        rho_v = np.zeros((data["ordering"].ncells_allocated, 4))
+        rho_s = np.zeros_like(rho_v)
+        acc_v = timed(accumulate_redundant, rho_v, data["icell"], data["dx"], data["dy"])
+        acc_s = timed(
+            accumulate_redundant_ref, rho_s, data["icell"], data["dx"], data["dy"],
+            repeats=1,
+        )
+        itp_v = timed(interpolate_redundant, data["e_1d"], data["icell"], data["dx"], data["dy"])
+        itp_s = timed(
+            interpolate_redundant_ref, data["e_1d"], data["icell"], data["dx"], data["dy"],
+            repeats=1,
+        )
+        # the two forms agree numerically (the vectorized timing loop
+        # deposited 3 times, the scalar one once)
+        np.testing.assert_allclose(rho_v, 3 * rho_s, atol=1e-9)
+        return {"accumulate": acc_s / acc_v, "interpolate": itp_s / itp_v}
+
+    gaps = benchmark.pedantic(measure, rounds=1, iterations=1)
+    write_result(
+        "vectorization_gap",
+        "Data-parallel (numpy) vs scalar (python) kernel speedups "
+        f"at N={N}:\n"
+        f"  accumulate  : {gaps['accumulate']:8.1f}x\n"
+        f"  interpolate : {gaps['interpolate']:8.1f}x\n"
+        "(the Python analogue of the paper's auto-vectorization gains — "
+        "same structural property, larger constant)",
+    )
+    assert gaps["accumulate"] > 10
+    assert gaps["interpolate"] > 10

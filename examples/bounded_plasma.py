@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Bounded plasma with reflecting walls — the §VI boundary extension.
+
+The paper's production code is periodic; its conclusion plans to adapt
+the vectorization techniques to reflecting/escaping particles.  This
+example drives the branchless reflecting-wall kernel
+(`repro.core.boundaries`): a drifting slab of plasma sloshes inside a
+grounded box, bouncing off the walls, with kinetic energy exactly
+preserved by every bounce.
+
+It also demonstrates the absorbing variant: the same slab in an
+absorbing box loses its particles through the walls, and the
+population decay is printed.
+
+Run:  python examples/bounded_plasma.py
+"""
+
+import numpy as np
+
+from repro.core.boundaries import (
+    compact_particles,
+    push_positions_absorbing,
+    push_positions_reflecting,
+)
+from repro.curves import get_ordering
+from repro.grid import GridSpec
+from repro.particles import make_storage
+
+NC = 64
+N = 50_000
+
+
+def make_slab(rng, ordering, drift=0.8):
+    """A hot slab in the left third of the box, drifting right."""
+    x = rng.uniform(0.1 * NC, 0.35 * NC, N)
+    y = rng.uniform(0, NC, N)
+    ix = np.floor(x).astype(np.int64)
+    iy = np.floor(y).astype(np.int64)
+    s = make_storage("soa", N, store_coords=True)
+    s.set_state(
+        ordering.encode(ix, iy), x - ix, y - iy,
+        rng.normal(drift, 0.2, N), rng.normal(0.0, 0.2, N),
+        ix, iy,
+    )
+    return s
+
+
+def slab_profile(s, bins=48):
+    x = np.asarray(s.ix) + np.asarray(s.dx)
+    hist, _ = np.histogram(x, bins=bins, range=(0, NC))
+    return hist
+
+
+def ascii_profile(hist, height=8, shades=" .:-=+*#%@"):
+    mx = hist.max() or 1
+    line = "".join(shades[min(int(v / mx * (len(shades) - 1)), len(shades) - 1)] for v in hist)
+    return "|" + line + "|"
+
+
+def main():
+    rng = np.random.default_rng(3)
+    ordering = get_ordering("morton", NC, NC)
+
+    print("=== reflecting box: a drifting slab sloshes back and forth ===")
+    s = make_slab(rng, ordering)
+    ke0 = float(np.sum(np.asarray(s.vx) ** 2 + np.asarray(s.vy) ** 2))
+    mean_v = float(np.mean(np.asarray(s.vx)))
+    print(f"{N} particles, drift +{mean_v:.2f} cells/step, box {NC} cells wide\n")
+    for step in range(0, 161, 20):
+        print(f"t={step:4d}  x-profile {ascii_profile(slab_profile(s))}  "
+              f"<vx>={np.mean(np.asarray(s.vx)):+.3f}")
+        for _ in range(20):
+            push_positions_reflecting(s, NC, NC, ordering)
+    ke1 = float(np.sum(np.asarray(s.vx) ** 2 + np.asarray(s.vy) ** 2))
+    print(f"\nkinetic energy before/after 160 bounce-steps: "
+          f"{ke0:.6e} / {ke1:.6e} (relative change {abs(ke1 - ke0) / ke0:.1e})")
+
+    print("\n=== absorbing box: the same slab drains through the walls ===")
+    s = make_slab(rng, ordering)
+    population = [s.n]
+    for step in range(160):
+        absorbed = push_positions_absorbing(s, NC, NC, ordering)
+        if absorbed.any():
+            s = compact_particles(s, ~absorbed)
+        population.append(s.n)
+        if s.n == 0:
+            break
+    marks = [0, 40, 80, 120, len(population) - 1]
+    for i in marks:
+        i = min(i, len(population) - 1)
+        frac = population[i] / N
+        print(f"t={i:4d}  surviving particles: {population[i]:6d} ({100 * frac:5.1f}%)")
+    print("\n(reflecting walls conserve energy exactly; absorbing walls "
+          "drain the drifting population — both kernels are branch-free, "
+          "per the paper's §VI vectorization requirement)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""3d3v Landau damping on the Morton-ordered redundant layout (§VI).
+
+The paper closes by noting its data structures extend to three
+dimensions.  This example runs the 3D engine (`repro.pic3d`): 3D
+Morton cell ordering, 8-corner redundant deposit/gather (one 64-byte
+rho line and three field lines per cell), bitwise periodic push, 3D
+spectral Poisson solve — and shows the perturbed mode Landau-damping
+away with the total energy conserved.
+
+Run:  python examples/pic3d_landau.py
+"""
+
+import numpy as np
+
+from repro.pic3d import (
+    GridSpec3D,
+    LandauDamping3D,
+    Morton3DOrdering,
+    PICStepper3D,
+)
+
+
+def main():
+    L = 4 * np.pi  # k = 0.5 along x
+    grid = GridSpec3D(32, 8, 8, 0.0, L, 0.0, L, 0.0, L)
+    n = 200_000
+    st = PICStepper3D(grid, LandauDamping3D(alpha=0.1), n, dt=0.1)
+
+    o = st.ordering
+    print(f"grid      : {grid.ncx} x {grid.ncy} x {grid.ncz}  "
+          f"({grid.ncells} cells, {o.name} ordering)")
+    print(f"particles : {n}  (weight {st.weight:.3e})")
+    print(f"redundant : rho {st.fields.rho_1d.shape} = one cache line/cell, "
+          f"E {st.fields.e_1d.shape} = three lines/cell")
+    e0 = st.total_energy()
+    print(f"\n{'t':>6s} {'field E':>12s} {'kinetic E':>13s} {'total E':>13s}")
+    for step in range(0, 101, 10):
+        print(f"{step * st.dt:6.1f} {st.field_energy():12.5e} "
+              f"{st.kinetic_energy():13.6e} {st.total_energy():13.6e}")
+        if step < 100:
+            st.run(10)
+    print(f"\nenergy drift        : {abs(st.total_energy() - e0) / e0:.2e}")
+    print("the perturbed mode's field energy decays by Landau damping, "
+          "as in 2D — the §VI extension works end to end")
+
+    # 3D locality: fraction of unit moves with a small index jump,
+    # Morton vs row-major (the 2D §IV-B argument carries over)
+    from repro.pic3d import RowMajor3DOrdering
+
+    print("\nfraction of unit moves with |index jump| <= 8 on a 16^3 grid:")
+    g = np.arange(16)
+    ix, iy, iz = np.meshgrid(g, g[:-1], g, indexing="ij")  # interior y-moves
+    for o in (RowMajor3DOrdering(16, 16, 16), Morton3DOrdering(16, 16, 16)):
+        a = o.encode(ix, iy, iz)
+        b = o.encode(ix, iy + 1, iz)
+        frac = float(np.mean(np.abs(b - a) <= 8))
+        print(f"  {o.name:14s} y-moves: {100 * frac:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

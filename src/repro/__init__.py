@@ -1,0 +1,13 @@
+"""repro — reproduction of Barsamian, Hirstoaga & Violard, IPDPSW 2017.
+
+Efficient data structures for a hybrid parallel and vectorized
+Particle-in-Cell code: space-filling-curve field layouts, SoA
+particles, vectorizable kernels, and simulated machine substrates that
+regenerate every table and figure of the paper's evaluation.
+
+Subpackages: :mod:`repro.curves`, :mod:`repro.grid`,
+:mod:`repro.particles`, :mod:`repro.core`, :mod:`repro.perf`,
+:mod:`repro.parallel`.
+"""
+
+__version__ = "1.0.0"

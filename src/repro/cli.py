@@ -1,0 +1,248 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``run`` — run a simulation case and print its diagnostics series;
+* ``orderings`` — print an ordering's index map for a small grid;
+* ``locality`` — compare unit-move locality of all orderings;
+* ``tune-sort`` — run the sort-period autotuner on the cost model;
+* ``misses`` — run a scaled cache-miss experiment (Table II style);
+* ``info`` — library, machine-preset and configuration summary.
+
+Everything the CLI prints is computed through the same public API the
+examples use; the CLI adds no behaviour of its own.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_CASES = ("landau", "nonlinear-landau", "two-stream", "bump-on-tail", "uniform")
+_ORDERINGS = ("row-major", "column-major", "l4d", "morton", "hilbert")
+
+
+def _make_case(name: str, alpha: float | None):
+    from repro.particles import (
+        BumpOnTail,
+        LandauDamping,
+        TwoStream,
+        UniformMaxwellian,
+    )
+
+    if name == "landau":
+        return LandauDamping(alpha=alpha if alpha is not None else 0.05)
+    if name == "nonlinear-landau":
+        return LandauDamping(alpha=alpha if alpha is not None else 0.5)
+    if name == "two-stream":
+        return TwoStream(alpha=alpha if alpha is not None else 1e-3)
+    if name == "bump-on-tail":
+        return BumpOnTail(alpha=alpha if alpha is not None else 1e-3)
+    if name == "uniform":
+        return UniformMaxwellian()
+    raise ValueError(f"unknown case {name!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Barsamian/Hirstoaga/Violard IPDPSW 2017 "
+        "(vectorized PIC data structures)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a simulation case")
+    run.add_argument("--case", choices=_CASES, default="landau")
+    run.add_argument("--particles", type=int, default=100_000)
+    run.add_argument("--steps", type=int, default=100)
+    run.add_argument("--dt", type=float, default=0.1)
+    run.add_argument("--alpha", type=float, default=None,
+                     help="perturbation amplitude (case default if omitted)")
+    run.add_argument("--grid", type=int, nargs=2, default=(64, 16),
+                     metavar=("NCX", "NCY"))
+    run.add_argument("--ordering", choices=_ORDERINGS, default="morton")
+    run.add_argument("--seed", type=int, default=None,
+                     help="random start seed (default: quiet start)")
+    run.add_argument("--every", type=int, default=10,
+                     help="print diagnostics every N steps")
+    run.add_argument("--checkpoint", type=str, default=None,
+                     help="write a checkpoint here after the run")
+
+    om = sub.add_parser("orderings", help="print an ordering's index map")
+    om.add_argument("--ordering", choices=_ORDERINGS, default="morton")
+    om.add_argument("--size", type=int, default=8, help="grid side (pow2)")
+    om.add_argument("--l4d-size", type=int, default=4, help="L4D tile height")
+
+    loc = sub.add_parser("locality", help="compare ordering locality")
+    loc.add_argument("--size", type=int, default=64, help="grid side (pow2)")
+
+    tune = sub.add_parser("tune-sort", help="autotune the sort period")
+    tune.add_argument("--machine", choices=("haswell", "sandybridge"),
+                      default="haswell")
+    tune.add_argument("--particles", type=int, default=50_000_000)
+    tune.add_argument("--growth", type=float, default=0.08,
+                      help="miss growth per unsorted iteration")
+
+    mi = sub.add_parser("misses", help="scaled cache-miss experiment (Table II)")
+    mi.add_argument("--orderings", nargs="+", choices=_ORDERINGS,
+                    default=["row-major", "morton"])
+    mi.add_argument("--particles", type=int, default=20_000)
+    mi.add_argument("--iterations", type=int, default=10)
+    mi.add_argument("--grid-side", type=int, default=64)
+    mi.add_argument("--sort-period", type=int, default=5)
+
+    sub.add_parser("info", help="library and machine-preset summary")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    from repro.core import OptimizationConfig, Simulation
+    from repro.grid import GridSpec
+
+    ncx, ncy = args.grid
+    grid = GridSpec(ncx, ncy, 0.0, 4 * np.pi, 0.0, 4 * np.pi)
+    case = _make_case(args.case, args.alpha)
+    cfg = OptimizationConfig.fully_optimized(args.ordering)
+    if args.ordering == "hilbert":
+        cfg = cfg.with_(position_update="modulo")
+    quiet = args.seed is None
+    sim = Simulation(
+        grid, case, args.particles, cfg, dt=args.dt,
+        quiet=quiet, seed=args.seed,
+    )
+    print(f"case={args.case} grid={ncx}x{ncy} particles={args.particles} "
+          f"ordering={args.ordering} dt={args.dt} "
+          f"start={'quiet' if quiet else f'seed {args.seed}'}")
+    sim.run(args.steps)
+    h = sim.history.as_arrays()
+    print(f"{'t':>7s} {'field E':>13s} {'kinetic E':>13s} {'total E':>13s}")
+    for i in range(0, args.steps + 1, max(args.every, 1)):
+        print(f"{h['times'][i]:7.2f} {h['field_energy'][i]:13.6e} "
+              f"{h['kinetic_energy'][i]:13.6e} {h['total_energy'][i]:13.6e}")
+    print(f"energy drift: {sim.history.energy_drift():.3e}")
+    t = sim.timings
+    print(f"throughput  : {args.particles * t.steps / t.total / 1e6:.2f} "
+          "M particle-steps/s")
+    if args.checkpoint:
+        from repro.core.checkpoint import save_checkpoint
+
+        path = save_checkpoint(sim.stepper, args.checkpoint)
+        print(f"checkpoint  : {path}")
+    return 0
+
+
+def _cmd_orderings(args) -> int:
+    from repro.curves import get_ordering
+
+    kwargs = {"size": args.l4d_size} if args.ordering == "l4d" else {}
+    o = get_ordering(args.ordering, args.size, args.size, **kwargs)
+    m = o.index_map()
+    width = len(str(int(m.max())))
+    print(f"{args.ordering} layout of a {args.size} x {args.size} grid "
+          f"(icell at (ix, iy); allocated {o.ncells_allocated}):")
+    for ix in range(args.size):
+        print("  " + " ".join(f"{m[ix, iy]:{width}d}" for iy in range(args.size)))
+    return 0
+
+
+def _cmd_locality(args) -> int:
+    from repro.curves import get_ordering, neighbor_locality_report
+
+    print(f"unit-move locality on a {args.size} x {args.size} grid "
+          "(fraction of neighbor moves with |d icell| <= 8):")
+    for name in _ORDERINGS:
+        r = neighbor_locality_report(get_ordering(name, args.size, args.size))
+        print(f"  {name:13s} {100 * r.frac_close_isotropic:5.1f}%  "
+              f"(x {100 * r.frac_close_dx:5.1f}%, y {100 * r.frac_close_dy:5.1f}%)")
+    return 0
+
+
+def _cmd_tune_sort(args) -> int:
+    from repro.core import OptimizationConfig
+    from repro.core.autotune import tune_sort_period_model
+    from repro.perf.costmodel import LoopCostModel, LoopKind
+    from repro.perf.machine import MachineSpec
+
+    machine = getattr(MachineSpec, args.machine)()
+    model = LoopCostModel(machine)
+    base = {
+        LoopKind.UPDATE_V: {"L1": 1.1, "L2": 0.11, "L3": 0.03},
+        LoopKind.UPDATE_X: {"L1": 0.9},
+        LoopKind.ACCUMULATE: {"L1": 0.76, "L2": 0.06, "L3": 0.02},
+    }
+    res = tune_sort_period_model(
+        model, OptimizationConfig.fully_optimized(), args.particles,
+        base, miss_growth_per_iter=args.growth,
+    )
+    print(f"machine={args.machine}, miss growth {args.growth}/iter:")
+    for period in sorted(res.costs):
+        ns = res.costs[period] / args.particles * 1e9
+        marker = "  <- best" if period == res.best_period else ""
+        print(f"  sort every {period:4d}: {ns:7.2f} ns/particle/iter{marker}")
+    return 0
+
+
+def _cmd_misses(args) -> int:
+    from repro.core import OptimizationConfig
+    from repro.grid import GridSpec
+    from repro.perf.experiments import MissExperiment, default_scaled_machine
+
+    grid = GridSpec(args.grid_side, args.grid_side, 0.0, 4 * np.pi, 0.0, 4 * np.pi)
+    machine = default_scaled_machine()
+    caches = ", ".join(
+        f"{lv.name} {lv.capacity_bytes // 1024}K" for lv in machine.levels
+    )
+    print(f"scaled machine: {machine.name} ({caches}); "
+          f"{args.particles} particles on {args.grid_side}x{args.grid_side}, "
+          f"{args.iterations} iterations, sort every {args.sort_period}")
+    print(f"{'ordering':12s} {'L1/iter':>10s} {'L2/iter':>10s} {'L3/iter':>10s}")
+    for name in args.orderings:
+        cfg = OptimizationConfig.fully_optimized(name)
+        if name == "hilbert":
+            cfg = cfg.with_(position_update="modulo")
+        cfg = cfg.with_(sort_period=args.sort_period)
+        series = MissExperiment(
+            cfg, grid, args.particles, args.iterations, machine=machine
+        ).run()
+        print(f"{name:12s} "
+              + " ".join(f"{series.average_misses(lv):10.0f}"
+                         for lv in ("L1", "L2", "L3")))
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    from repro.curves import available_orderings
+    from repro.perf.machine import MachineSpec
+
+    print("repro — PIC data-structures reproduction (IPDPSW 2017)")
+    print("orderings:", ", ".join(available_orderings()))
+    for name in ("haswell", "sandybridge"):
+        m = getattr(MachineSpec, name)()
+        caches = ", ".join(
+            f"{lv.name} {lv.capacity_bytes // 1024}K/{lv.associativity}w"
+            for lv in m.levels
+        )
+        print(f"{m.name}: {m.freq_ghz} GHz, {m.cores_per_socket} cores, "
+              f"{m.mem_channels} channels, {caches}")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "orderings": _cmd_orderings,
+        "locality": _cmd_locality,
+        "tune-sort": _cmd_tune_sort,
+        "misses": _cmd_misses,
+        "info": _cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

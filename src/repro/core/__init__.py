@@ -1,0 +1,52 @@
+"""Core PIC engine: the paper's optimized 2d2v Vlasov–Poisson solver.
+
+The engine is assembled from interchangeable pieces selected by an
+:class:`~repro.core.config.OptimizationConfig`, so that every row of
+the paper's Table IV (baseline → +hoisting → +splitting → +redundant
+arrays → +SoA → +space-filling curves → +optimized update-positions)
+is a configuration of the *same* stepper rather than a separate code
+path.
+
+Public entry points:
+
+* :class:`~repro.core.simulation.Simulation` — high-level façade.
+* :class:`~repro.core.stepper.PICStepper` — the leap-frog loop.
+* :mod:`~repro.core.kernels` — the vectorized particle kernels.
+* :mod:`~repro.core.diagnostics` — energies, mode amplitudes, rate fits.
+"""
+
+from repro.core.autotune import SortPeriodAutoTuner, TuneResult, tune_sort_period_model
+from repro.core.boundaries import (
+    compact_particles,
+    push_positions_absorbing,
+    push_positions_reflecting,
+)
+from repro.core.config import OptimizationConfig
+from repro.core.stepper import PICStepper, StepTimings
+from repro.core.simulation import Simulation, SimulationHistory
+from repro.core.diagnostics import (
+    damping_rate_fit,
+    field_energy,
+    growth_rate_fit,
+    kinetic_energy,
+    mode_amplitude,
+)
+
+__all__ = [
+    "OptimizationConfig",
+    "PICStepper",
+    "StepTimings",
+    "Simulation",
+    "SimulationHistory",
+    "field_energy",
+    "kinetic_energy",
+    "mode_amplitude",
+    "damping_rate_fit",
+    "growth_rate_fit",
+    "SortPeriodAutoTuner",
+    "TuneResult",
+    "tune_sort_period_model",
+    "push_positions_reflecting",
+    "push_positions_absorbing",
+    "compact_particles",
+]

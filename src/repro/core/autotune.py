@@ -1,0 +1,154 @@
+"""Automatic sort-period tuning — the paper's §IV-E future work.
+
+"The optimal number of iterations between two sorting steps can vary
+according to the architecture.  Therefore it will be interesting to
+implement an automatic finding of this optimal number.  This is left
+for future work."  — implemented here, twice:
+
+* :func:`tune_sort_period_model` — analytic: on the cost model, the
+  sorting cost amortizes as ``C_sort / T`` while the stall cost of
+  disorder grows with the period (misses ramp roughly linearly between
+  sorts — the Fig. 5 sawtooth); minimizing the sum gives a closed-form
+  optimum that shifts exactly the way the paper observed (cheaper
+  memory / pricier misses -> sort more often: Haswell 20 vs Sandy
+  Bridge 50).
+* :class:`SortPeriodAutoTuner` — empirical: an online tuner that can
+  wrap a live stepper, measuring iteration costs at candidate periods
+  and keeping the argmin; works against wall-clock or any cost
+  callback, so it ports to a real machine unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from typing import TYPE_CHECKING
+
+from repro.core.config import OptimizationConfig
+
+if TYPE_CHECKING:  # imported lazily at runtime: repro.perf imports
+    # repro.core.config, so a module-level import here would be circular
+    from repro.perf.costmodel import LoopCostModel, LoopKind
+
+__all__ = ["tune_sort_period_model", "SortPeriodAutoTuner", "TuneResult"]
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of a sort-period tuning run."""
+
+    best_period: int
+    #: mapping period -> modeled (or measured) seconds per iteration
+    costs: dict
+
+    def cost_of(self, period: int) -> float:
+        return self.costs[period]
+
+
+def tune_sort_period_model(
+    model: "LoopCostModel",
+    config: OptimizationConfig,
+    n_particles: int,
+    base_misses: "dict[LoopKind, dict[str, float]]",
+    miss_growth_per_iter: float = 0.08,
+    candidates=(1, 2, 5, 10, 20, 30, 50, 75, 100, 150),
+) -> TuneResult:
+    """Pick the sort period minimizing modeled time per iteration.
+
+    ``base_misses`` is the freshly-sorted per-particle miss table;
+    ``miss_growth_per_iter`` is the fractional growth of the irregular
+    loops' misses per un-sorted iteration (the sawtooth slope of
+    Fig. 5, measurable with
+    :class:`repro.perf.experiments.MissExperiment`).  Averaging the
+    ramp over a period of T iterations multiplies the stall term by
+    ``1 + g*(T-1)/2``; the sort itself costs ``C_sort / T`` per
+    iteration.
+    """
+    from repro.perf.costmodel import LoopKind
+
+    if miss_growth_per_iter < 0:
+        raise ValueError("miss growth must be non-negative")
+    costs = {}
+    sort_cost = model.sort_seconds_per_call(n_particles, config)
+    for period in candidates:
+        ramp = 1.0 + miss_growth_per_iter * (period - 1) / 2.0
+        total = sort_cost / period
+        for kind in LoopKind:
+            mpp = {
+                lv: m * ramp for lv, m in base_misses.get(kind, {}).items()
+            }
+            total += model.loop_costs(kind, config, mpp).seconds(
+                n_particles, model.machine
+            )
+        costs[period] = total
+    best = min(costs, key=costs.get)
+    return TuneResult(best, costs)
+
+
+@dataclass
+class SortPeriodAutoTuner:
+    """Online sort-period search over a live cost signal.
+
+    Feed it the cost of each iteration (wall-clock seconds, modeled
+    seconds, simulated misses — anything to minimize); it trials each
+    candidate period for ``trial_iterations`` and settles on the
+    cheapest.  Usage::
+
+        tuner = SortPeriodAutoTuner(candidates=(10, 20, 50))
+        while running:
+            stepper.config = stepper.config.with_(sort_period=tuner.period)
+            cost = measure_iteration(stepper)
+            tuner.record(cost)
+        tuner.result()   # -> TuneResult once all trials finished
+
+    The tuner is deliberately simple (exhaustive trial, no bandits):
+    the candidate set is tiny and a PIC run has millions of iterations
+    to amortize the search.
+    """
+
+    candidates: tuple = (5, 10, 20, 50, 100)
+    trial_iterations: int = 60
+    _index: int = 0
+    _count: int = 0
+    _sums: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.candidates:
+            raise ValueError("need at least one candidate period")
+        if self.trial_iterations <= 0:
+            raise ValueError("trial_iterations must be positive")
+
+    @property
+    def period(self) -> int:
+        """The sort period to use for the current iteration."""
+        if self.finished:
+            return self.result().best_period
+        return int(self.candidates[self._index])
+
+    @property
+    def finished(self) -> bool:
+        return self._index >= len(self.candidates)
+
+    def record(self, iteration_cost: float) -> None:
+        """Report the cost of one iteration run at :attr:`period`."""
+        if self.finished:
+            return
+        key = self.candidates[self._index]
+        self._sums[key] = self._sums.get(key, 0.0) + float(iteration_cost)
+        self._count += 1
+        if self._count >= self.trial_iterations:
+            self._count = 0
+            self._index += 1
+
+    def result(self) -> TuneResult:
+        """Best period found so far (all completed trials)."""
+        if not self._sums:
+            raise RuntimeError("no trials recorded yet")
+        avg = {k: v / self.trial_iterations for k, v in self._sums.items()}
+        # the in-progress candidate has a partial sum: exclude it
+        if not self.finished:
+            avg.pop(self.candidates[self._index], None)
+        if not avg:
+            raise RuntimeError("no completed trials yet")
+        best = min(avg, key=avg.get)
+        return TuneResult(int(best), avg)

@@ -1,0 +1,160 @@
+"""Simulation checkpointing: save/restore full stepper state to .npz.
+
+Long PIC runs (the paper's production runs take hours on thousands of
+cores) need restartability.  A checkpoint captures everything required
+to continue bit-exactly: the particle phase space (in stored units),
+the iteration counter, the grid/config identity, and the current grid
+fields (which are deterministic functions of the particles, but saving
+them avoids an extra solve and preserves bit-exactness across the
+restart boundary).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.core.config import OptimizationConfig
+from repro.core.stepper import PICStepper
+from repro.grid.spec import GridSpec
+from repro.particles.storage import make_storage
+
+__all__ = ["save_checkpoint", "load_checkpoint", "CheckpointMismatchError"]
+
+_FORMAT_VERSION = 1
+
+
+class CheckpointMismatchError(RuntimeError):
+    """The checkpoint does not match the requested restore target."""
+
+
+def _config_json(config: OptimizationConfig) -> str:
+    return json.dumps(asdict(config), sort_keys=True)
+
+
+def save_checkpoint(stepper: PICStepper, path) -> pathlib.Path:
+    """Write the stepper's full state to ``path`` (.npz).
+
+    Returns the path written.  The particle attributes are stored in
+    the stepper's internal units (hoisted or not) together with the
+    metadata needed to validate a restore.
+    """
+    path = pathlib.Path(path)
+    p = stepper.particles
+    arrays = {
+        "icell": np.asarray(p.icell),
+        "pdx": np.asarray(p.dx),
+        "pdy": np.asarray(p.dy),
+        "vx": np.asarray(p.vx),
+        "vy": np.asarray(p.vy),
+        "ex_grid": stepper.ex_grid,
+        "ey_grid": stepper.ey_grid,
+        "rho_grid": stepper.rho_grid,
+    }
+    if p.store_coords:
+        arrays["pix"] = np.asarray(p.ix)
+        arrays["piy"] = np.asarray(p.iy)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "iteration": stepper.iteration,
+        "dt": stepper.dt,
+        "q": stepper.q,
+        "m": stepper.m,
+        "eps0": stepper.eps0,
+        "weight": p.weight,
+        "layout": p.layout,
+        "store_coords": p.store_coords,
+        "grid": [stepper.grid.ncx, stepper.grid.ncy,
+                 stepper.grid.xmin, stepper.grid.xmax,
+                 stepper.grid.ymin, stepper.grid.ymax],
+        "config": _config_json(stepper.config),
+    }
+    np.savez_compressed(path, _meta=json.dumps(meta), **arrays)
+    return path
+
+
+def load_checkpoint(path, config: OptimizationConfig | None = None) -> PICStepper:
+    """Rebuild a stepper from a checkpoint.
+
+    ``config`` defaults to the checkpointed one; passing a different
+    config is allowed only if it is state-compatible (same particle
+    layout, coordinate storage, hoisting, field layout and ordering) —
+    anything else would silently reinterpret the stored arrays.
+    """
+    path = pathlib.Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(str(data["_meta"]))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise CheckpointMismatchError(
+                f"unsupported checkpoint version {meta.get('format_version')}"
+            )
+        saved_cfg = OptimizationConfig(**json.loads(meta["config"]))
+        if config is None:
+            config = saved_cfg
+        else:
+            for fld in ("particle_layout", "field_layout", "ordering",
+                        "ordering_kwargs", "hoisting"):
+                if getattr(config, fld) != getattr(saved_cfg, fld):
+                    raise CheckpointMismatchError(
+                        f"config field {fld!r} differs from the checkpoint "
+                        f"({getattr(config, fld)!r} vs {getattr(saved_cfg, fld)!r})"
+                    )
+            if config.effective_store_coords != saved_cfg.effective_store_coords:
+                raise CheckpointMismatchError("store_coords differs from checkpoint")
+        ncx, ncy, xmin, xmax, ymin, ymax = meta["grid"]
+        grid = GridSpec(int(ncx), int(ncy), xmin, xmax, ymin, ymax)
+        n = len(data["icell"])
+        particles = make_storage(
+            meta["layout"], n, weight=meta["weight"],
+            store_coords=meta["store_coords"],
+        )
+        particles.set_state(
+            data["icell"], data["pdx"], data["pdy"], data["vx"], data["vy"],
+            data["pix"] if meta["store_coords"] else None,
+            data["piy"] if meta["store_coords"] else None,
+        )
+        stepper = PICStepper.__new__(PICStepper)
+        # rebuild without re-running initialization (the state is given)
+        _reconstruct(stepper, grid, config, particles, meta, data)
+    return stepper
+
+
+def _reconstruct(stepper, grid, config, particles, meta, data) -> None:
+    """Fill a blank PICStepper with checkpointed state (no re-init)."""
+    from repro.core.kernels import POSITION_UPDATE_KERNELS
+    from repro.core.stepper import StepTimings
+    from repro.curves.base import get_ordering
+    from repro.grid.fields import RedundantFields, StandardFields
+    from repro.grid.poisson import SpectralPoissonSolver
+
+    stepper.grid = grid
+    stepper.config = config
+    stepper.dt = float(meta["dt"])
+    stepper.q = float(meta["q"])
+    stepper.m = float(meta["m"])
+    stepper.eps0 = float(meta["eps0"])
+    stepper.ordering = get_ordering(
+        config.ordering, grid.ncx, grid.ncy, **config.ordering_kwargs
+    )
+    if config.field_layout == "redundant":
+        stepper.fields = RedundantFields(grid, stepper.ordering)
+    else:
+        stepper.fields = StandardFields(grid)
+    stepper.solver = SpectralPoissonSolver(grid, stepper.eps0)
+    stepper.particles = particles
+    stepper._sort_buffer = None
+    stepper._push = POSITION_UPDATE_KERNELS[config.position_update]
+    stepper.timings = StepTimings()
+    stepper.iteration = int(meta["iteration"])
+    stepper.ex_grid = np.array(data["ex_grid"])
+    stepper.ey_grid = np.array(data["ey_grid"])
+    stepper.rho_grid = np.array(data["rho_grid"])
+    # reload the stored-unit field into the layout so the next
+    # update-velocities sees exactly what it would have seen
+    stepper.fields.set_field_from_grid(
+        stepper.ex_grid * stepper._field_scale_x,
+        stepper.ey_grid * stepper._field_scale_y,
+    )

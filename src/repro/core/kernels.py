@@ -1,0 +1,222 @@
+"""Vectorized particle kernels: accumulate, interpolate, push.
+
+These are the inner loops of Fig. 1, each in the code variants the
+paper compares.  All kernels work in *grid units*: positions are
+``ix + dx in [0, ncx)``, and when loop hoisting is active velocities
+arrive pre-scaled to displacement-per-step so the push is a bare add.
+
+NumPy whole-array operations are the Python rendering of the
+auto-vectorized C loops; the scalar reference implementations used as
+test oracles live in :mod:`repro.core.reference`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.fields import corner_weights
+
+__all__ = [
+    "accumulate_standard",
+    "accumulate_redundant",
+    "interpolate_standard",
+    "interpolate_redundant",
+    "update_velocities",
+    "push_positions_branch",
+    "push_positions_modulo",
+    "push_positions_bitwise",
+    "POSITION_UPDATE_KERNELS",
+]
+
+
+# ----------------------------------------------------------------------
+# Charge accumulation (Fig. 1 line 11; Fig. 2 both variants)
+# ----------------------------------------------------------------------
+def accumulate_standard(rho, ix, iy, dx, dy, charge=1.0):
+    """Scatter CiC charge onto the point-based ``rho[ncx][ncy]``.
+
+    The four corner updates hit scattered, non-contiguous addresses
+    (the upper variant of Fig. 2); periodic wrap folds the +1 edges.
+    ``charge`` is the per-particle charge factor ``q*w / cell_area``.
+    """
+    ncx, ncy = rho.shape
+    w = corner_weights(dx, dy) * charge  # (N, 4)
+    ixp = ix + 1
+    iyp = iy + 1
+    ixp = np.where(ixp == ncx, 0, ixp)
+    iyp = np.where(iyp == ncy, 0, iyp)
+    flat = rho.reshape(-1)
+    n = flat.size
+    for c, (jx, jy) in enumerate(((ix, iy), (ix, iyp), (ixp, iy), (ixp, iyp))):
+        flat += np.bincount(jx * ncy + jy, weights=w[:, c], minlength=n)
+
+
+def accumulate_redundant(rho_1d, icell, dx, dy, charge=1.0):
+    """Scatter CiC charge onto the redundant ``rho_1d[ncell][4]``.
+
+    Each particle writes one contiguous 4-element row — the
+    vectorizable lower variant of Fig. 2.  No periodic wrap is needed
+    here; the fold to grid points happens in
+    :meth:`~repro.grid.fields.RedundantFields.reduce_rho_to_grid`.
+    """
+    w = corner_weights(dx, dy) * charge  # (N, 4)
+    flat_idx = (np.asarray(icell, dtype=np.int64)[:, None] * 4) + np.arange(4)
+    flat = rho_1d.reshape(-1)
+    flat += np.bincount(flat_idx.ravel(), weights=w.ravel(), minlength=flat.size)
+
+
+# ----------------------------------------------------------------------
+# Field interpolation (the gather side of update-velocities)
+# ----------------------------------------------------------------------
+def interpolate_standard(ex, ey, ix, iy, dx, dy):
+    """Gather E at particle positions from the point-based arrays.
+
+    Four corner reads per particle per component, periodic wrap —
+    the non-contiguous access pattern the redundant layout removes.
+    Returns ``(ex_p, ey_p)``.
+    """
+    ncx, ncy = ex.shape
+    w = corner_weights(dx, dy)
+    ixp = np.where(ix + 1 == ncx, 0, ix + 1)
+    iyp = np.where(iy + 1 == ncy, 0, iy + 1)
+    corners = ((ix, iy), (ix, iyp), (ixp, iy), (ixp, iyp))
+    ex_p = np.zeros(len(w))
+    ey_p = np.zeros(len(w))
+    for c, (jx, jy) in enumerate(corners):
+        ex_p += w[:, c] * ex[jx, jy]
+        ey_p += w[:, c] * ey[jx, jy]
+    return ex_p, ey_p
+
+
+def interpolate_redundant(e_1d, icell, dx, dy):
+    """Gather E at particle positions from the redundant layout.
+
+    One contiguous 8-value row per particle (a single cache line in
+    the paper's machines).  Returns ``(ex_p, ey_p)``.
+    """
+    rows = e_1d[np.asarray(icell, dtype=np.int64)]  # (N, 8)
+    w = corner_weights(dx, dy)  # (N, 4)
+    ex_p = np.einsum("nc,nc->n", rows[:, :4], w)
+    ey_p = np.einsum("nc,nc->n", rows[:, 4:], w)
+    return ex_p, ey_p
+
+
+# ----------------------------------------------------------------------
+# Velocity update (Fig. 1 line 9)
+# ----------------------------------------------------------------------
+def update_velocities(vx, vy, ex_p, ey_p, coef_x=1.0, coef_y=1.0):
+    """``v += coef * E_p`` in place.
+
+    With hoisting the field arrives pre-scaled and ``coef`` is 1.0 —
+    the loop body is a bare fused add; without hoisting ``coef`` is
+    ``q*dt/m`` (times ``dt/spacing`` when positions are advanced in
+    grid units), multiplied per particle per step.
+    """
+    if coef_x == 1.0:
+        vx += ex_p
+    else:
+        vx += coef_x * ex_p
+    if coef_y == 1.0:
+        vy += ey_p
+    else:
+        vy += coef_y * ey_p
+
+
+# ----------------------------------------------------------------------
+# Position update (Fig. 1 line 10) — the three §IV-C variants.
+# Each takes current (ix_or_none, dx, displacement) per axis and
+# returns new (icoord, offset); `wrap_*` selects the periodic fold.
+# ----------------------------------------------------------------------
+def _axis_branch(x, nc):
+    """Test-and-wrap: apply the float modulo only to escaped particles.
+
+    This is the `if (x < 0 || x >= nc) x = modulo(x, nc)` version; the
+    data-dependent branch is rendered as a mask + partial update, which
+    is exactly what a predicated (non-vectorized) loop does.
+    """
+    outside = (x < 0.0) | (x >= nc)
+    if np.any(outside):
+        x = x.copy()
+        x[outside] = np.mod(x[outside], nc)
+    fx = np.floor(x)
+    i = fx.astype(np.int64)
+    # float modulo can round up to exactly nc: fold that particle home
+    hit = i == nc
+    if np.any(hit):
+        i = np.where(hit, 0, i)
+        fx = np.where(hit, 0.0, fx)
+        x = np.where(hit, 0.0, x)
+    return i, x - fx
+
+
+def _axis_modulo(x, nc):
+    """Unconditional modulo: ``i = mod(floor(x), nc)``, no branch.
+
+    The modulo runs for every particle; profitable because it removes
+    the misprediction and keeps the loop vectorizable (§IV-C2).
+    """
+    fx = np.floor(x)
+    i = np.mod(fx, nc).astype(np.int64)
+    return i, x - fx
+
+
+def _axis_bitwise(x, nc):
+    """Branchless, call-free: cast-based floor + bitwise-and wrap.
+
+    ``floor(x) = (int)x - (x < 0)`` and, for power-of-two ``nc``,
+    ``mod(i, nc) = i & (nc - 1)`` (§IV-C3).  Works for particles any
+    number of periods outside the box, unlike the move-at-most-one-cell
+    tricks the paper rejects.
+    """
+    if nc & (nc - 1):
+        raise ValueError(f"bitwise wrap requires power-of-two extent, got {nc}")
+    fx = x.astype(np.int64) - (x < 0.0)
+    return fx & (nc - 1), x - fx
+
+
+def _push(particles, ncx, ncy, ordering, axis_fn, scale_x=1.0, scale_y=1.0):
+    """Shared driver: advance positions, wrap, re-derive (icell, ix, iy).
+
+    ``ordering`` supplies the (ix, iy) <-> icell bijection; ``scale_*``
+    converts stored velocity to grid displacement per step
+    (1.0 under hoisting).  Writes all particle attributes in place and
+    returns nothing.
+    """
+    if particles.store_coords:
+        ix_old, iy_old = particles.ix, particles.iy
+    else:
+        # row-major family: recompute coords from icell in one op each
+        ix_old, iy_old = ordering.decode(particles.icell)
+    x = ix_old + particles.dx + scale_x * particles.vx
+    y = iy_old + particles.dy + scale_y * particles.vy
+    ix, dx_off = axis_fn(np.asarray(x), ncx)
+    iy, dy_off = axis_fn(np.asarray(y), ncy)
+    particles.icell[:] = ordering.encode(ix, iy)
+    particles.dx[:] = dx_off
+    particles.dy[:] = dy_off
+    if particles.store_coords:
+        particles.ix[:] = ix
+        particles.iy[:] = iy
+
+
+def push_positions_branch(particles, ncx, ncy, ordering, scale_x=1.0, scale_y=1.0):
+    """Position update with the test-and-wrap (`if`) formulation."""
+    _push(particles, ncx, ncy, ordering, _axis_branch, scale_x, scale_y)
+
+
+def push_positions_modulo(particles, ncx, ncy, ordering, scale_x=1.0, scale_y=1.0):
+    """Position update with the unconditional-modulo formulation."""
+    _push(particles, ncx, ncy, ordering, _axis_modulo, scale_x, scale_y)
+
+
+def push_positions_bitwise(particles, ncx, ncy, ordering, scale_x=1.0, scale_y=1.0):
+    """Position update with the cast-floor + bitwise-and formulation."""
+    _push(particles, ncx, ncy, ordering, _axis_bitwise, scale_x, scale_y)
+
+
+#: Dispatch table used by the stepper, keyed by config.position_update.
+POSITION_UPDATE_KERNELS = {
+    "branch": push_positions_branch,
+    "modulo": push_positions_modulo,
+    "bitwise": push_positions_bitwise,
+}

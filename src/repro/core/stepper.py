@@ -1,0 +1,424 @@
+"""The leap-frog PIC time stepper (Fig. 1 of the paper).
+
+One :class:`PICStepper` instance owns the grid, the field storage (in
+the layout the config selects), the particle storage, and the Poisson
+solver, and advances the coupled system one time step at a time:
+
+    sort (periodically) -> reset rho -> particle loops -> Poisson solve
+
+The particle loops run either *split* (three full passes: update-v,
+update-x, accumulate — §IV-A) or *fused* (one pass over particle
+chunks doing all three steps — the baseline).  Both produce identical
+physics; they differ in memory behaviour, which the perf substrate
+prices.
+
+Unit conventions
+----------------
+Positions always live in grid units (``ix + dx in [0, ncx)``).  With
+loop hoisting (§IV-D) velocities are stored as *grid displacement per
+time step* and the field is loaded into the storage pre-scaled by
+``q*dt^2 / (m*spacing)``, so both inner loops are multiply-free; the
+stepper converts back to physical units for diagnostics.  Without
+hoisting, velocities are physical and the loops carry the multiplies.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import OptimizationConfig
+from repro.core.kernels import (
+    POSITION_UPDATE_KERNELS,
+    accumulate_redundant,
+    accumulate_standard,
+    interpolate_redundant,
+    interpolate_standard,
+    update_velocities,
+)
+from repro.curves.base import get_ordering
+from repro.grid.fields import RedundantFields, StandardFields
+from repro.grid.poisson import PoissonSolver, SpectralPoissonSolver
+from repro.grid.spec import GridSpec
+from repro.particles.initializers import InitialCondition, load_particles
+from repro.particles.sorting import sort_in_place, sort_out_of_place
+from repro.particles.storage import ParticleStorage
+
+__all__ = ["PICStepper", "StepTimings"]
+
+
+@dataclass
+class StepTimings:
+    """Wall-clock seconds spent in each phase, accumulated over steps.
+
+    These are *measured* times of the numpy kernels (used by the
+    wall-clock benchmarks); the paper-shaped machine timings come from
+    :mod:`repro.perf.costmodel` instead.
+    """
+
+    update_v: float = 0.0
+    update_x: float = 0.0
+    accumulate: float = 0.0
+    sort: float = 0.0
+    solve: float = 0.0
+    steps: int = 0
+
+    @property
+    def total(self) -> float:
+        return self.update_v + self.update_x + self.accumulate + self.sort + self.solve
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "update_v": self.update_v,
+            "update_x": self.update_x,
+            "accumulate": self.accumulate,
+            "sort": self.sort,
+            "solve": self.solve,
+            "total": self.total,
+        }
+
+
+class PICStepper:
+    """Advance a 2d2v periodic Vlasov–Poisson system by leap-frog.
+
+    Parameters
+    ----------
+    grid:
+        The spatial grid.
+    config:
+        Which optimization variant of each kernel to run.
+    particles:
+        Pre-built particle storage; mutually exclusive with ``case``.
+    case, n_particles, seed, quiet:
+        Alternatively, an :class:`InitialCondition` to sample.
+    dt:
+        Time step (plasma-frequency units with the defaults).
+    q, m:
+        Charge and mass of the macro-particles' species (electrons by
+        default: ``q=-1, m=1``); a uniform neutralizing background is
+        implied by the zero-mean Poisson solve.
+    solver:
+        A :class:`~repro.grid.poisson.PoissonSolver`; defaults to the
+        spectral solver.
+    """
+
+    def __init__(
+        self,
+        grid: GridSpec,
+        config: OptimizationConfig,
+        *,
+        particles: ParticleStorage | None = None,
+        case: InitialCondition | None = None,
+        n_particles: int | None = None,
+        dt: float = 0.05,
+        q: float = -1.0,
+        m: float = 1.0,
+        eps0: float = 1.0,
+        seed: int | None = 0,
+        quiet: bool = False,
+        solver: PoissonSolver | None = None,
+    ):
+        if config.position_update == "bitwise" and not grid.pow2:
+            raise ValueError(
+                "bitwise position update requires power-of-two grid dims "
+                f"(got {grid.ncx} x {grid.ncy})"
+            )
+        self.grid = grid
+        self.config = config
+        self.dt = float(dt)
+        self.q = float(q)
+        self.m = float(m)
+        self.eps0 = float(eps0)
+        self.ordering = get_ordering(
+            config.ordering, grid.ncx, grid.ncy, **config.ordering_kwargs
+        )
+        if config.field_layout == "redundant":
+            self.fields = RedundantFields(grid, self.ordering)
+        else:
+            self.fields = StandardFields(grid)
+        self.solver = solver if solver is not None else SpectralPoissonSolver(grid, eps0)
+
+        if particles is not None:
+            if case is not None:
+                raise ValueError("pass either particles or case, not both")
+            self.particles = particles
+        else:
+            if case is None or n_particles is None:
+                raise ValueError("pass particles, or case and n_particles")
+            self.particles = load_particles(
+                grid,
+                self.ordering,
+                case,
+                n_particles,
+                layout=config.particle_layout,
+                seed=seed,
+                quiet=quiet,
+                store_coords=config.effective_store_coords,
+            )
+        if self.particles.store_coords != config.effective_store_coords:
+            raise ValueError(
+                "particle storage store_coords does not match config "
+                f"({self.particles.store_coords} vs {config.effective_store_coords})"
+            )
+        #: double buffer for the out-of-place sort (allocated lazily)
+        self._sort_buffer: ParticleStorage | None = None
+        self._push = POSITION_UPDATE_KERNELS[config.position_update]
+        self.timings = StepTimings()
+        self.iteration = 0
+        #: physical (Ex, Ey) at grid points from the latest solve
+        self.ex_grid = np.zeros((grid.ncx, grid.ncy))
+        self.ey_grid = np.zeros((grid.ncx, grid.ncy))
+        self.rho_grid = np.zeros((grid.ncx, grid.ncy))
+
+        self._init_fields_and_stagger()
+
+    # ------------------------------------------------------------------
+    # Unit scalings (§IV-D)
+    # ------------------------------------------------------------------
+    @property
+    def _vel_scale_x(self) -> float:
+        """Stored-velocity -> physical-velocity factor along x."""
+        return self.grid.dx / self.dt if self.config.hoisting else 1.0
+
+    @property
+    def _vel_scale_y(self) -> float:
+        return self.grid.dy / self.dt if self.config.hoisting else 1.0
+
+    @property
+    def _field_scale_x(self) -> float:
+        """Physical-field -> stored-field factor along x.
+
+        Hoisted: ``q*dt^2/(m*dx)`` so update-v adds grid displacement
+        directly; otherwise 1 (field stored physical).
+        """
+        if self.config.hoisting:
+            return self.q * self.dt**2 / (self.m * self.grid.dx)
+        return 1.0
+
+    @property
+    def _field_scale_y(self) -> float:
+        if self.config.hoisting:
+            return self.q * self.dt**2 / (self.m * self.grid.dy)
+        return 1.0
+
+    @property
+    def _charge_factor(self) -> float:
+        """Per-particle factor turning CiC weights into charge density."""
+        return self.q * self.particles.weight / self.grid.cell_area
+
+    def physical_velocities(self) -> tuple[np.ndarray, np.ndarray]:
+        """Velocities in physical units regardless of hoisting."""
+        return (
+            np.asarray(self.particles.vx) * self._vel_scale_x,
+            np.asarray(self.particles.vy) * self._vel_scale_y,
+        )
+
+    # ------------------------------------------------------------------
+    # Initialization
+    # ------------------------------------------------------------------
+    def _init_fields_and_stagger(self) -> None:
+        """Compute rho and E at t=0, then shift v to t = -dt/2 (leap-frog)."""
+        if self.config.hoisting:
+            # loaded velocities are physical: convert to grid units/step
+            self.particles.vx[:] = self.particles.vx * (self.dt / self.grid.dx)
+            self.particles.vy[:] = self.particles.vy * (self.dt / self.grid.dy)
+        self._deposit_and_solve()
+        # half-kick backwards so v sits at -dt/2 while x sits at 0
+        ex_p, ey_p = self._interpolate()
+        cvx, cvy = self._update_v_coef()
+        update_velocities(
+            self.particles.vx, self.particles.vy, ex_p, ey_p, -0.5 * cvx, -0.5 * cvy
+        )
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def _interpolate(self) -> tuple[np.ndarray, np.ndarray]:
+        """Field at particles, in *stored* units (scaled when hoisted)."""
+        p = self.particles
+        if self.fields.layout == "redundant":
+            return interpolate_redundant(self.fields.e_1d, p.icell, p.dx, p.dy)
+        if p.store_coords:
+            ix, iy = p.ix, p.iy
+        else:
+            ix, iy = self.ordering.decode(p.icell)
+        return interpolate_standard(
+            self.fields.ex, self.fields.ey, ix, iy, p.dx, p.dy
+        )
+
+    def _update_v_coef(self) -> tuple[float, float]:
+        """Multiplier applied inside update-velocities (1.0 when hoisted)."""
+        if self.config.hoisting:
+            return 1.0, 1.0
+        return self.q * self.dt / self.m, self.q * self.dt / self.m
+
+    def _phase_update_v(self, sl: slice | None = None) -> None:
+        p = self.particles
+        if sl is None:
+            ex_p, ey_p = self._interpolate()
+            cvx, cvy = self._update_v_coef()
+            update_velocities(p.vx, p.vy, ex_p, ey_p, cvx, cvy)
+            return
+        # fused mode: operate on a chunk view
+        chunk = _ChunkView(p, sl)
+        if self.fields.layout == "redundant":
+            ex_p, ey_p = interpolate_redundant(
+                self.fields.e_1d, chunk.icell, chunk.dx, chunk.dy
+            )
+        else:
+            if p.store_coords:
+                ix, iy = chunk.ix, chunk.iy
+            else:
+                ix, iy = self.ordering.decode(chunk.icell)
+            ex_p, ey_p = interpolate_standard(
+                self.fields.ex, self.fields.ey, ix, iy, chunk.dx, chunk.dy
+            )
+        cvx, cvy = self._update_v_coef()
+        update_velocities(chunk.vx, chunk.vy, ex_p, ey_p, cvx, cvy)
+
+    def _phase_update_x(self, sl: slice | None = None) -> None:
+        g = self.grid
+        target = self.particles if sl is None else _ChunkView(self.particles, sl)
+        if self.config.hoisting:
+            sx = sy = 1.0
+        else:
+            sx, sy = self.dt / g.dx, self.dt / g.dy
+        self._push(target, g.ncx, g.ncy, self.ordering, sx, sy)
+
+    def _phase_accumulate(self, sl: slice | None = None) -> None:
+        p = self.particles if sl is None else _ChunkView(self.particles, sl)
+        if self.fields.layout == "redundant":
+            accumulate_redundant(
+                self.fields.rho_1d, p.icell, p.dx, p.dy, self._charge_factor
+            )
+        else:
+            if p.store_coords:
+                ix, iy = p.ix, p.iy
+            else:
+                ix, iy = self.ordering.decode(p.icell)
+            accumulate_standard(
+                self.fields.rho, ix, iy, p.dx, p.dy, self._charge_factor
+            )
+
+    def _phase_sort(self) -> None:
+        ncells = self.ordering.ncells_allocated
+        if self.config.sort_variant == "in-place":
+            sort_in_place(self.particles, ncells)
+            return
+        if self._sort_buffer is None:
+            self._sort_buffer = self.particles.clone_empty()
+        sorted_parts = sort_out_of_place(self.particles, ncells, self._sort_buffer)
+        self._sort_buffer = self.particles
+        self.particles = sorted_parts
+
+    def _deposit_and_solve(self) -> None:
+        """Accumulate rho from current positions, then solve for E."""
+        self.fields.reset_rho()
+        self._phase_accumulate()
+        self._solve_fields()
+
+    def _solve_fields(self) -> None:
+        self.rho_grid = self.fields.rho_grid()
+        _, ex, ey = self.solver.solve(self.rho_grid)
+        self.ex_grid, self.ey_grid = ex, ey
+        # both layouts store the field in *stepper* units: pre-scaled to
+        # grid-displacement-per-step when hoisting is on (§IV-D), physical
+        # otherwise; diagnostics read the physical ex_grid/ey_grid instead
+        self.fields.set_field_from_grid(
+            ex * self._field_scale_x, ey * self._field_scale_y
+        )
+
+    # ------------------------------------------------------------------
+    # The public step
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """One iteration of Fig. 1's main loop (lines 4–13)."""
+        cfg = self.config
+        t0 = time.perf_counter()
+        if cfg.sort_period and self.iteration % cfg.sort_period == 0 and self.iteration:
+            self._phase_sort()
+        t1 = time.perf_counter()
+        self.timings.sort += t1 - t0
+
+        self.fields.reset_rho()
+        if cfg.loop_mode == "split":
+            t = time.perf_counter()
+            self._phase_update_v()
+            self.timings.update_v += time.perf_counter() - t
+            t = time.perf_counter()
+            self._phase_update_x()
+            self.timings.update_x += time.perf_counter() - t
+            t = time.perf_counter()
+            self._phase_accumulate()
+            self.timings.accumulate += time.perf_counter() - t
+        else:
+            n = self.particles.n
+            size = cfg.chunk_size
+            for lo in range(0, n, size):
+                sl = slice(lo, min(lo + size, n))
+                t = time.perf_counter()
+                self._phase_update_v(sl)
+                self.timings.update_v += time.perf_counter() - t
+                t = time.perf_counter()
+                self._phase_update_x(sl)
+                self.timings.update_x += time.perf_counter() - t
+                t = time.perf_counter()
+                self._phase_accumulate(sl)
+                self.timings.accumulate += time.perf_counter() - t
+
+        t = time.perf_counter()
+        self._solve_fields()
+        self.timings.solve += time.perf_counter() - t
+        self.timings.steps += 1
+        self.iteration += 1
+
+    def run(self, n_steps: int) -> None:
+        """Advance ``n_steps`` iterations."""
+        for _ in range(n_steps):
+            self.step()
+
+
+class _ChunkView:
+    """A slice-of-particles proxy exposing the ParticleStorage interface.
+
+    Lets the fused loop run the same kernels on contiguous chunks; all
+    attribute views alias the parent storage so in-place kernel writes
+    land in the right place.
+    """
+
+    def __init__(self, parent: ParticleStorage, sl: slice):
+        self._parent = parent
+        self._sl = sl
+        self.store_coords = parent.store_coords
+        self.weight = parent.weight
+        self.n = len(range(*sl.indices(parent.n)))
+
+    @property
+    def icell(self):
+        return self._parent.icell[self._sl]
+
+    @property
+    def dx(self):
+        return self._parent.dx[self._sl]
+
+    @property
+    def dy(self):
+        return self._parent.dy[self._sl]
+
+    @property
+    def vx(self):
+        return self._parent.vx[self._sl]
+
+    @property
+    def vy(self):
+        return self._parent.vy[self._sl]
+
+    @property
+    def ix(self):
+        return self._parent.ix[self._sl]
+
+    @property
+    def iy(self):
+        return self._parent.iy[self._sl]

@@ -1,0 +1,163 @@
+"""Common interface for cell orderings (space-filling curves).
+
+A *cell ordering* is a bijection between 2D integer grid coordinates
+``(ix, iy)`` with ``0 <= ix < ncx`` and ``0 <= iy < ncy`` and a linear
+cell index ``icell``.  The PIC code stores the redundant field and
+charge arrays indexed by ``icell``; the ordering therefore decides
+which grid cells are adjacent in memory, and hence how many cache
+misses a stream of spatially-local particles generates.
+
+All coordinate transforms are vectorized: they accept and return numpy
+integer arrays (or python scalars) and never loop over elements in
+Python.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "CellOrdering",
+    "register_ordering",
+    "get_ordering",
+    "available_orderings",
+]
+
+#: Registry of ordering constructors, keyed by lowercase name.
+_ORDERING_REGISTRY: dict[str, Callable[..., "CellOrdering"]] = {}
+
+
+def register_ordering(name: str, factory: Callable[..., "CellOrdering"]) -> None:
+    """Register an ordering constructor under ``name`` (case-insensitive).
+
+    ``factory(ncx, ncy, **kwargs)`` must return a :class:`CellOrdering`.
+    Re-registering an existing name replaces the previous factory.
+    """
+    _ORDERING_REGISTRY[name.lower()] = factory
+
+
+def get_ordering(name: str, ncx: int, ncy: int, **kwargs) -> "CellOrdering":
+    """Instantiate a registered ordering by name for an ``ncx`` x ``ncy`` grid.
+
+    Raises :class:`KeyError` listing the available names if ``name`` is
+    unknown.
+    """
+    try:
+        factory = _ORDERING_REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown ordering {name!r}; available: {sorted(_ORDERING_REGISTRY)}"
+        ) from None
+    return factory(ncx, ncy, **kwargs)
+
+
+def available_orderings() -> list[str]:
+    """Sorted names of all registered orderings."""
+    return sorted(_ORDERING_REGISTRY)
+
+
+def _validate_grid_shape(ncx: int, ncy: int) -> None:
+    if ncx <= 0 or ncy <= 0:
+        raise ValueError(f"grid dims must be positive, got {ncx} x {ncy}")
+
+
+class CellOrdering(abc.ABC):
+    """Bijection between grid coordinates ``(ix, iy)`` and cell index.
+
+    Subclasses implement :meth:`encode` / :meth:`decode`.  The base class
+    provides bounds bookkeeping, a dense index map, and convenience
+    conversions used by the field layouts and the trace generators.
+
+    Parameters
+    ----------
+    ncx, ncy:
+        Grid extents along x and y.  Some orderings additionally require
+        powers of two (Morton, Hilbert).
+    """
+
+    #: Registry / display name, overridden per subclass.
+    name: str = "abstract"
+
+    def __init__(self, ncx: int, ncy: int):
+        _validate_grid_shape(ncx, ncy)
+        self.ncx = int(ncx)
+        self.ncy = int(ncy)
+
+    # ------------------------------------------------------------------
+    # Abstract bijection
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def encode(self, ix: np.ndarray, iy: np.ndarray) -> np.ndarray:
+        """Map grid coordinates to linear cell indices (vectorized)."""
+
+    @abc.abstractmethod
+    def decode(self, icell: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Map linear cell indices back to ``(ix, iy)`` (vectorized).
+
+        Behaviour on padding indices (indices not produced by
+        :meth:`encode` for any in-bounds coordinate) is undefined.
+        """
+
+    # ------------------------------------------------------------------
+    # Size bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def ncells(self) -> int:
+        """Number of real grid cells, ``ncx * ncy``."""
+        return self.ncx * self.ncy
+
+    @property
+    def ncells_allocated(self) -> int:
+        """Array length required to hold every encoded index.
+
+        Equal to :attr:`ncells` for paddingless orderings; larger when the
+        ordering allocates never-accessed padding cells (L4D with a tile
+        height not dividing ``ncy`` — see paper §IV-B).
+        """
+        return self.ncells
+
+    # ------------------------------------------------------------------
+    # Derived helpers
+    # ------------------------------------------------------------------
+    def encode_checked(self, ix, iy) -> np.ndarray:
+        """Like :meth:`encode` but validates that coordinates are in bounds."""
+        ix = np.asarray(ix)
+        iy = np.asarray(iy)
+        if np.any((ix < 0) | (ix >= self.ncx)) or np.any((iy < 0) | (iy >= self.ncy)):
+            raise ValueError("grid coordinates out of bounds")
+        return self.encode(ix, iy)
+
+    def index_map(self) -> np.ndarray:
+        """Dense ``(ncx, ncy)`` array of cell indices, ``map[ix, iy] = icell``.
+
+        Useful for visualising the layout (paper Figs. 3 and 4) and for
+        table-driven encoding in tests.
+        """
+        ix, iy = np.meshgrid(
+            np.arange(self.ncx, dtype=np.int64),
+            np.arange(self.ncy, dtype=np.int64),
+            indexing="ij",
+        )
+        return self.encode(ix, iy)
+
+    def neighbor_index(self, icell, dx: int, dy: int) -> np.ndarray:
+        """Cell index of the periodic ``(dx, dy)`` neighbor of ``icell``.
+
+        Decodes, shifts with periodic wrap, and re-encodes; used by the
+        redundant-layout reduction and by locality analysis.
+        """
+        ix, iy = self.decode(np.asarray(icell))
+        return self.encode((ix + dx) % self.ncx, (iy + dy) % self.ncy)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(ncx={self.ncx}, ncy={self.ncy})"
+
+
+def require_power_of_two(value: int, what: str) -> int:
+    """Validate that ``value`` is a positive power of two and return its log2."""
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{what} must be a positive power of two, got {value}")
+    return int(value).bit_length() - 1

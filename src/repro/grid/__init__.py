@@ -1,0 +1,45 @@
+"""Grid substrate: domain specification, field layouts, Poisson solver.
+
+Two storage layouts for the grid quantities (electric field ``E`` and
+charge density ``rho``) are provided, mirroring the paper §II:
+
+* :class:`~repro.grid.fields.StandardFields` — the textbook
+  ``(ncx, ncy)`` arrays (``Ex``, ``Ey``, ``rho``), point-indexed.
+* :class:`~repro.grid.fields.RedundantFields` — the cell-based
+  redundant layout ``rho_1d[ncell][4]`` / ``E_1d[ncell][8]`` holding the
+  four corner values of every cell contiguously, indexed by a
+  :class:`~repro.curves.base.CellOrdering`.  Four times the memory, but
+  unit-stride per-particle access and a vectorizable accumulate.
+
+The Poisson solver (:mod:`repro.grid.poisson`) is the Fourier method of
+the paper (FFTW3 there, :mod:`numpy.fft` here), with an iterative
+reference solver used to cross-check it in the tests.
+"""
+
+from repro.grid.spec import GridSpec
+from repro.grid.fields import (
+    InterlacedFields,
+    RedundantFields,
+    StandardFields,
+    corner_offsets,
+    corner_weights,
+)
+from repro.grid.poisson import (
+    PoissonSolver,
+    SpectralPoissonSolver,
+    JacobiPoissonSolver,
+    laplacian_periodic,
+)
+
+__all__ = [
+    "GridSpec",
+    "StandardFields",
+    "InterlacedFields",
+    "RedundantFields",
+    "corner_offsets",
+    "corner_weights",
+    "PoissonSolver",
+    "SpectralPoissonSolver",
+    "JacobiPoissonSolver",
+    "laplacian_periodic",
+]

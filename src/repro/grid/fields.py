@@ -1,0 +1,261 @@
+"""Field and charge-density storage layouts.
+
+Implements the two layouts the paper compares (§II, Fig. 2):
+
+* **Standard** point-based 2D arrays ``rho[ncx][ncy]``, ``Ex``, ``Ey``.
+* **Redundant** cell-based 1D arrays ``rho_1d[ncell][4]`` and
+  ``E_1d[ncell][8]``: for every cell, the values of ``rho`` (resp.
+  ``Ex`` and ``Ey``) at the cell's four corner grid points are stored
+  contiguously, in the memory order chosen by a
+  :class:`~repro.curves.base.CellOrdering`.
+
+Corner convention (matches Fig. 2's ``cx/sx/cy/sy`` coefficient
+tables)::
+
+    corner 0: (ix    , iy    )   weight (1-dx)*(1-dy)
+    corner 1: (ix    , iy + 1)   weight (1-dx)*(  dy)
+    corner 2: (ix + 1, iy    )   weight (  dx)*(1-dy)
+    corner 3: (ix + 1, iy + 1)   weight (  dx)*(  dy)
+
+``E_1d`` columns 0..3 hold the Ex corner values and columns 4..7 the Ey
+corner values, so a particle's whole field read is one contiguous
+64-byte row (exactly one cache line in the paper's machines).
+
+The redundant rho is a *scatter* target: after accumulation the corner
+contributions must be folded back onto grid points (each grid point is
+a corner of four cells, with periodic wrap) before the Poisson solve —
+:meth:`RedundantFields.reduce_rho_to_grid` implements that fold, and
+:meth:`RedundantFields.load_field_from_grid` the inverse broadcast of a
+solved field into the redundant layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.base import CellOrdering
+from repro.grid.spec import GridSpec
+
+__all__ = [
+    "corner_offsets",
+    "corner_weights",
+    "StandardFields",
+    "InterlacedFields",
+    "RedundantFields",
+]
+
+#: Grid-point offsets of the four cell corners, ``(4, 2)`` int array.
+_CORNER_OFFSETS = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.int64)
+
+#: Fig. 2's coefficient tables: weight(corner) = (cx + sx*dx) * (cy + sy*dy).
+_CX = np.array([1.0, 1.0, 0.0, 0.0])
+_SX = np.array([-1.0, -1.0, 1.0, 1.0])
+_CY = np.array([1.0, 0.0, 1.0, 0.0])
+_SY = np.array([-1.0, 1.0, -1.0, 1.0])
+
+
+class InterlacedFields:
+    """Component-interlaced field storage: ``exy[ncx][ncy][2]``.
+
+    The intermediate layout of Decyk et al. the paper quotes in §II
+    ("storing components of the field in only one array") — both field
+    components of a grid point sit side by side, halving the number of
+    distinct streams the update-velocities gather touches, but the four
+    corners of a cell remain non-contiguous.  Kept here so the full
+    lineage standard -> interlaced -> redundant is runnable; rho stays
+    a plain grid array (the interlacing only ever applied to E).
+    """
+
+    layout = "interlaced"
+
+    def __init__(self, grid: GridSpec):
+        self.grid = grid
+        self.rho = np.zeros((grid.ncx, grid.ncy))
+        #: ``exy[ix, iy, 0]`` = Ex, ``exy[ix, iy, 1]`` = Ey
+        self.exy = np.zeros((grid.ncx, grid.ncy, 2))
+
+    def reset_rho(self) -> None:
+        self.rho[:] = 0.0
+
+    def rho_grid(self) -> np.ndarray:
+        return self.rho
+
+    def set_field_from_grid(self, ex: np.ndarray, ey: np.ndarray) -> None:
+        self.exy[:, :, 0] = ex
+        self.exy[:, :, 1] = ey
+
+    @property
+    def ex(self) -> np.ndarray:
+        """Strided Ex view (non-contiguous: stride 2 doubles)."""
+        return self.exy[:, :, 0]
+
+    @property
+    def ey(self) -> np.ndarray:
+        return self.exy[:, :, 1]
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.rho.nbytes + self.exy.nbytes
+
+
+def corner_offsets() -> np.ndarray:
+    """The ``(4, 2)`` corner offset table (copy; callers may not mutate)."""
+    return _CORNER_OFFSETS.copy()
+
+
+def corner_weights(dx_off: np.ndarray, dy_off: np.ndarray) -> np.ndarray:
+    """Cloud-in-Cell weights of the 4 corners for offsets in ``[0,1)``.
+
+    Returns an ``(N, 4)`` array; rows sum to 1 exactly in exact
+    arithmetic (and to within rounding here), which is what makes the
+    scheme charge-conserving.  Written in the ``c + s*d`` form of
+    Fig. 2 — the form whose inner 4-iteration loop auto-vectorizes.
+    """
+    dx_off = np.asarray(dx_off, dtype=np.float64)[..., None]
+    dy_off = np.asarray(dy_off, dtype=np.float64)[..., None]
+    return (_CX + _SX * dx_off) * (_CY + _SY * dy_off)
+
+
+class StandardFields:
+    """Textbook point-based storage: ``rho``, ``Ex``, ``Ey`` of shape (ncx, ncy)."""
+
+    layout = "standard"
+
+    def __init__(self, grid: GridSpec):
+        self.grid = grid
+        self.rho = np.zeros((grid.ncx, grid.ncy))
+        self.ex = np.zeros((grid.ncx, grid.ncy))
+        self.ey = np.zeros((grid.ncx, grid.ncy))
+
+    def reset_rho(self) -> None:
+        """Line 7 of the pseudo-code: zero the charge density."""
+        self.rho[:] = 0.0
+
+    def rho_grid(self) -> np.ndarray:
+        """Point-based charge density (already in that form here)."""
+        return self.rho
+
+    def set_field_from_grid(self, ex: np.ndarray, ey: np.ndarray) -> None:
+        """Store a solved field given point-based arrays."""
+        self.ex[:] = ex
+        self.ey[:] = ey
+
+    @property
+    def memory_bytes(self) -> int:
+        """Footprint of the field+rho storage (for the bandwidth model)."""
+        return self.rho.nbytes + self.ex.nbytes + self.ey.nbytes
+
+
+class RedundantFields:
+    """Cell-based redundant storage ordered by a space-filling curve.
+
+    Parameters
+    ----------
+    grid:
+        The grid specification.
+    ordering:
+        Bijection deciding which cell goes where in memory.  Padding
+        cells (L4D) are allocated and stay zero forever.
+    """
+
+    layout = "redundant"
+
+    def __init__(self, grid: GridSpec, ordering: CellOrdering):
+        if (ordering.ncx, ordering.ncy) != (grid.ncx, grid.ncy):
+            raise ValueError(
+                "ordering grid shape "
+                f"{(ordering.ncx, ordering.ncy)} != grid {(grid.ncx, grid.ncy)}"
+            )
+        self.grid = grid
+        self.ordering = ordering
+        nalloc = ordering.ncells_allocated
+        #: per-cell corner charges, ``(nalloc, 4)``
+        self.rho_1d = np.zeros((nalloc, 4))
+        #: per-cell corner fields, ``(nalloc, 8)``: cols 0..3 Ex, 4..7 Ey
+        self.e_1d = np.zeros((nalloc, 8))
+        self._build_maps()
+
+    def _build_maps(self) -> None:
+        """Precompute gather/scatter index maps between grid points and cells.
+
+        ``_cell_index_map[ix, iy]`` is the linear index of cell (ix, iy).
+        ``_corner_cell[c]`` (shape ``(ncx, ncy)``) is, for grid point
+        (gx, gy), the linear index of the cell whose corner ``c`` is that
+        point — i.e. cell ``(gx - ox) mod ncx, (gy - oy) mod ncy``.
+        """
+        g = self.grid
+        ix, iy = np.meshgrid(
+            np.arange(g.ncx, dtype=np.int64),
+            np.arange(g.ncy, dtype=np.int64),
+            indexing="ij",
+        )
+        self._cell_index_map = self.ordering.encode(ix, iy)
+        self._corner_cell = np.empty((4, g.ncx, g.ncy), dtype=np.int64)
+        for c, (ox, oy) in enumerate(_CORNER_OFFSETS):
+            self._corner_cell[c] = self.ordering.encode(
+                (ix - ox) % g.ncx, (iy - oy) % g.ncy
+            )
+
+    # ------------------------------------------------------------------
+    def reset_rho(self) -> None:
+        self.rho_1d[:] = 0.0
+
+    def cell_index_map(self) -> np.ndarray:
+        """``(ncx, ncy)`` map of linear cell indices (read-only view)."""
+        v = self._cell_index_map.view()
+        v.flags.writeable = False
+        return v
+
+    def reduce_rho_to_grid(self) -> np.ndarray:
+        """Fold redundant corner charges onto grid points (periodic).
+
+        Grid point (gx, gy) receives the contributions written to it as
+        corner 0 of cell (gx, gy), corner 1 of cell (gx, gy-1),
+        corner 2 of cell (gx-1, gy) and corner 3 of cell (gx-1, gy-1).
+        """
+        g = self.grid
+        out = np.zeros((g.ncx, g.ncy))
+        for c in range(4):
+            out += self.rho_1d[self._corner_cell[c], c]
+        return out
+
+    def load_field_from_grid(self, ex: np.ndarray, ey: np.ndarray) -> None:
+        """Broadcast point-based field arrays into the redundant layout.
+
+        Each cell's row gets the field values at its four corners (with
+        periodic wrap), Ex in columns 0..3 and Ey in 4..7.  This is the
+        step that costs 4x memory and buys contiguous per-particle
+        reads.
+        """
+        g = self.grid
+        ex = np.asarray(ex, dtype=np.float64)
+        ey = np.asarray(ey, dtype=np.float64)
+        if ex.shape != (g.ncx, g.ncy) or ey.shape != (g.ncx, g.ncy):
+            raise ValueError("field arrays must have grid shape")
+        idx = self._cell_index_map
+        for c, (ox, oy) in enumerate(_CORNER_OFFSETS):
+            exc = np.roll(np.roll(ex, -ox, axis=0), -oy, axis=1)
+            eyc = np.roll(np.roll(ey, -ox, axis=0), -oy, axis=1)
+            self.e_1d[idx, c] = exc
+            self.e_1d[idx, 4 + c] = eyc
+
+    def set_field_from_grid(self, ex: np.ndarray, ey: np.ndarray) -> None:
+        """Alias matching :class:`StandardFields`' API."""
+        self.load_field_from_grid(ex, ey)
+
+    def rho_grid(self) -> np.ndarray:
+        """Alias matching :class:`StandardFields`' API."""
+        return self.reduce_rho_to_grid()
+
+    def field_at_grid(self) -> tuple[np.ndarray, np.ndarray]:
+        """Recover point-based (Ex, Ey) from the redundant layout.
+
+        Reads corner 0 of each cell; used by tests to verify the
+        broadcast round-trips.
+        """
+        idx = self._cell_index_map
+        return self.e_1d[idx, 0].copy(), self.e_1d[idx, 4].copy()
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.rho_1d.nbytes + self.e_1d.nbytes

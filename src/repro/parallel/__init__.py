@@ -1,0 +1,59 @@
+"""Parallel substrate: simulated MPI, simulated OpenMP, scaling models.
+
+The paper parallelizes *without domain decomposition*: every MPI rank
+owns a fixed subset of particles and the whole grid; the only
+communication is the ``MPI_ALLREDUCE`` of the charge density (§V-A).
+Threads split the particle loops with a per-thread charge reduction
+(§V-B).  Both layers are reproduced here:
+
+* :mod:`~repro.parallel.mpi` — an in-process MPI: thread-per-rank
+  execution with real collective semantics over numpy buffers, plus a
+  LogP-style collective cost model for timing.
+* :mod:`~repro.parallel.openmp` — simulated thread team: real
+  partitioned execution (private rho copies + deterministic reduction)
+  plus the roofline thread-scaling model (compute/p vs traffic/BW(p)).
+* :mod:`~repro.parallel.hybrid` — a distributed PIC stepper running on
+  the simulated MPI (physics identical to the serial code, which the
+  tests assert).
+* :mod:`~repro.parallel.scaling` — the weak/strong scaling series of
+  Figs. 7/9 and Tables VI/VII.
+"""
+
+from repro.parallel.mpi import CollectiveCostModel, SimComm, SimMPI
+from repro.parallel.openmp import (
+    ThreadScalingModel,
+    parallel_accumulate_redundant,
+    parallel_accumulate_standard,
+    partition_range,
+)
+from repro.parallel.domain_decomp import (
+    DomainDecompositionModel,
+    SchemeComparison,
+    compare_schemes,
+)
+from repro.parallel.hybrid import DistributedPICStepper, run_distributed_landau
+from repro.parallel.scaling import (
+    ScalingPoint,
+    strong_scaling_hybrid,
+    strong_scaling_threads,
+    weak_scaling_series,
+)
+
+__all__ = [
+    "SimMPI",
+    "SimComm",
+    "CollectiveCostModel",
+    "partition_range",
+    "parallel_accumulate_redundant",
+    "parallel_accumulate_standard",
+    "ThreadScalingModel",
+    "DistributedPICStepper",
+    "run_distributed_landau",
+    "DomainDecompositionModel",
+    "SchemeComparison",
+    "compare_schemes",
+    "ScalingPoint",
+    "weak_scaling_series",
+    "strong_scaling_hybrid",
+    "strong_scaling_threads",
+]

@@ -1,0 +1,59 @@
+"""Particle substrate: storage layouts, initial conditions, sorting.
+
+The paper represents a particle as ``(icell, dx, dy, vx, vy)`` — linear
+cell index plus normalized in-cell offsets — and compares an
+Array-of-Structures layout against a Structure-of-Arrays layout
+(§IV-C1; SoA wins because it gives the update-positions loop unit
+stride).  Both layouts live here behind one API.
+
+Initial conditions cover the paper's test cases (linear and nonlinear
+Landau damping, two-stream instability), with random or quiet
+(Halton low-discrepancy) starts.
+
+Sorting is the periodic counting sort by cell index of §II/§V-B1, in
+out-of-place, in-place, and simulated-parallel variants.
+"""
+
+from repro.particles.storage import (
+    ParticleAoS,
+    ParticleSoA,
+    ParticleStorage,
+    make_storage,
+)
+from repro.particles.initializers import (
+    BumpOnTail,
+    InitialCondition,
+    LandauDamping,
+    TwoStream,
+    UniformMaxwellian,
+    halton_sequence,
+    load_particles,
+    sample_perturbed_positions,
+)
+from repro.particles.sorting import (
+    counting_sort_permutation,
+    counting_sort_permutation_reference,
+    parallel_counting_sort_permutation,
+    sort_in_place,
+    sort_out_of_place,
+)
+
+__all__ = [
+    "ParticleStorage",
+    "ParticleSoA",
+    "ParticleAoS",
+    "make_storage",
+    "InitialCondition",
+    "LandauDamping",
+    "TwoStream",
+    "BumpOnTail",
+    "UniformMaxwellian",
+    "halton_sequence",
+    "sample_perturbed_positions",
+    "load_particles",
+    "counting_sort_permutation",
+    "counting_sort_permutation_reference",
+    "parallel_counting_sort_permutation",
+    "sort_out_of_place",
+    "sort_in_place",
+]

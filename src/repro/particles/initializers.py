@@ -1,0 +1,302 @@
+"""Initial conditions for the Vlasov–Poisson test cases.
+
+The paper validates on three classical cases (§IV):
+
+* **Linear Landau damping** — Maxwellian with a small density
+  perturbation ``1 + alpha*cos(k x)``, ``alpha << 1``; the field energy
+  decays at the Landau rate (gamma ~ -0.1533 for k = 0.5, vth = 1).
+* **Nonlinear Landau damping** — same shape with large ``alpha``
+  (conventionally 0.5); initial decay then oscillation.
+* **Two-stream instability** — two counter-streaming beams; the k-mode
+  field energy *grows* exponentially until saturation.
+
+Positions can be sampled randomly or by a *quiet start*: a Halton
+low-discrepancy sequence pushed through the inverse CDF, which
+suppresses shot noise enough that the small test populations used in
+CI reproduce the analytic rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.curves.base import CellOrdering
+from repro.grid.spec import GridSpec
+from repro.particles.storage import ParticleStorage, make_storage
+
+__all__ = [
+    "InitialCondition",
+    "LandauDamping",
+    "TwoStream",
+    "BumpOnTail",
+    "UniformMaxwellian",
+    "halton_sequence",
+    "sample_perturbed_positions",
+    "load_particles",
+]
+
+
+def halton_sequence(n: int, base: int, start: int = 1) -> np.ndarray:
+    """First ``n`` terms of the base-``base`` Halton sequence in [0, 1).
+
+    Vectorized radical-inverse: digit-reverses the integers
+    ``start .. start+n-1`` in the given base.
+    """
+    if base < 2:
+        raise ValueError("Halton base must be >= 2")
+    idx = np.arange(start, start + n, dtype=np.int64)
+    out = np.zeros(n)
+    denom = np.float64(base)
+    while np.any(idx > 0):
+        idx, digit = np.divmod(idx, base)
+        out += digit / denom
+        denom *= base
+    return out
+
+
+def _inverse_cdf_perturbed(u: np.ndarray, alpha: float, k: float, length: float) -> np.ndarray:
+    """Invert the CDF of ``f(x) = (1 + alpha*cos(k x)) / length`` on [0, L).
+
+    ``F(x) = (x + (alpha/k) sin(k x)) / L``; inverted by Newton with a
+    bisection-safe fallback (the density is strictly positive for
+    ``|alpha| < 1`` so F is strictly increasing).
+    """
+    if abs(alpha) >= 1.0:
+        raise ValueError("|alpha| must be < 1 for an invertible density")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    target = np.asarray(u) * length
+    x = target.copy()  # alpha=0 solution is the exact starting guess
+    for _ in range(50):
+        f = x + (alpha / k) * np.sin(k * x) - target
+        fp = 1.0 + alpha * np.cos(k * x)
+        step = f / fp
+        x -= step
+        if np.max(np.abs(step)) < 1e-13 * max(length, 1.0):
+            break
+    return np.mod(x, length)
+
+
+def sample_perturbed_positions(
+    n: int,
+    length: float,
+    alpha: float,
+    k: float,
+    rng: np.random.Generator | None = None,
+    quiet: bool = False,
+    halton_base: int = 2,
+) -> np.ndarray:
+    """Sample positions from ``1 + alpha*cos(k x)`` on ``[0, length)``."""
+    if quiet:
+        u = halton_sequence(n, halton_base)
+    else:
+        if rng is None:
+            raise ValueError("random sampling requires an rng")
+        u = rng.random(n)
+    if alpha == 0.0:
+        return u * length
+    return _inverse_cdf_perturbed(u, alpha, k, length)
+
+
+def _maxwellian(n, vth, rng=None, quiet=False, bases=(7, 11)):
+    """2D Maxwellian velocities; quiet start uses Box–Muller on Halton pairs."""
+    if quiet:
+        u1 = halton_sequence(n, bases[0])
+        u2 = halton_sequence(n, bases[1])
+        u1 = np.clip(u1, 1e-12, 1.0)
+        r = np.sqrt(-2.0 * np.log(u1))
+        return vth * r * np.cos(2 * np.pi * u2), vth * r * np.sin(2 * np.pi * u2)
+    return rng.normal(0.0, vth, n), rng.normal(0.0, vth, n)
+
+
+@dataclass(frozen=True)
+class InitialCondition:
+    """Base class: a named phase-space density to sample particles from."""
+
+    def sample(self, n, grid, rng=None, quiet=False):
+        """Return physical ``(x, y, vx, vy)`` arrays of length ``n``."""
+        raise NotImplementedError
+
+    def default_grid(self) -> GridSpec:
+        """A canonical grid for this case (used by the examples)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class UniformMaxwellian(InitialCondition):
+    """Spatially uniform Maxwellian — null case, E stays ~0."""
+
+    vth: float = 1.0
+
+    def sample(self, n, grid, rng=None, quiet=False):
+        if quiet:
+            x = grid.xmin + grid.lx * halton_sequence(n, 2)
+            y = grid.ymin + grid.ly * halton_sequence(n, 3)
+        else:
+            x = grid.xmin + grid.lx * rng.random(n)
+            y = grid.ymin + grid.ly * rng.random(n)
+        vx, vy = _maxwellian(n, self.vth, rng, quiet)
+        return x, y, vx, vy
+
+    def default_grid(self):
+        return GridSpec(64, 64, 0.0, 4 * np.pi, 0.0, 4 * np.pi)
+
+
+@dataclass(frozen=True)
+class LandauDamping(InitialCondition):
+    """Landau damping: ``f = M(v) (1 + alpha cos(kx x))``.
+
+    ``alpha = 0.01`` gives the paper's linear case (Table I);
+    ``alpha = 0.5`` the nonlinear one.  ``mode`` is the integer number
+    of perturbation wavelengths across the box, so ``kx = 2*pi*mode/Lx``.
+    """
+
+    alpha: float = 0.01
+    vth: float = 1.0
+    mode: int = 1
+
+    def kx(self, grid: GridSpec) -> float:
+        return 2 * np.pi * self.mode / grid.lx
+
+    def sample(self, n, grid, rng=None, quiet=False):
+        x = grid.xmin + sample_perturbed_positions(
+            n, grid.lx, self.alpha, self.kx(grid), rng, quiet
+        )
+        if quiet:
+            y = grid.ymin + grid.ly * halton_sequence(n, 3)
+        else:
+            y = grid.ymin + grid.ly * rng.random(n)
+        vx, vy = _maxwellian(n, self.vth, rng, quiet)
+        return x, y, vx, vy
+
+    def default_grid(self):
+        # k = 0.5 with mode 1: Lx = 4*pi; damping rate gamma ~ -0.1533
+        return GridSpec(128, 128, 0.0, 4 * np.pi, 0.0, 4 * np.pi)
+
+
+@dataclass(frozen=True)
+class TwoStream(InitialCondition):
+    """Two-stream instability: counter-streaming beams along x.
+
+    ``f = 0.5 [M(v - v0) + M(v + v0)] (1 + alpha cos(kx x))``.
+    For ``k*v0`` in the unstable band the perturbation grows
+    exponentially; with the defaults (v0 = 2.4, k = 0.2) the linear
+    growth rate is about 0.2 plasma frequencies.
+    """
+
+    v0: float = 2.4
+    vth: float = 0.5
+    alpha: float = 1e-3
+    mode: int = 1
+
+    def kx(self, grid: GridSpec) -> float:
+        return 2 * np.pi * self.mode / grid.lx
+
+    def sample(self, n, grid, rng=None, quiet=False):
+        x = grid.xmin + sample_perturbed_positions(
+            n, grid.lx, self.alpha, self.kx(grid), rng, quiet
+        )
+        if quiet:
+            y = grid.ymin + grid.ly * halton_sequence(n, 3)
+            beam = (halton_sequence(n, 5) < 0.5).astype(np.float64)
+        else:
+            y = grid.ymin + grid.ly * rng.random(n)
+            beam = (rng.random(n) < 0.5).astype(np.float64)
+        vx, vy = _maxwellian(n, self.vth, rng, quiet)
+        vx = vx + np.where(beam > 0.5, self.v0, -self.v0)
+        return x, y, vx, vy
+
+    def default_grid(self):
+        return GridSpec(64, 64, 0.0, 10 * np.pi, 0.0, 10 * np.pi)
+
+
+@dataclass(frozen=True)
+class BumpOnTail(InitialCondition):
+    """Bump-on-tail instability: a Maxwellian bulk plus a fast beam.
+
+    ``f = (1-n_b) M(v; vth) + n_b M(v - v_b; vth_b)``, perturbed along
+    x.  The gentle-beam free energy drives Langmuir waves resonant with
+    the bump's negative-slope flank — the third classical validation
+    case of kinetic plasma codes.
+    """
+
+    n_beam: float = 0.1
+    v_beam: float = 4.0
+    vth: float = 1.0
+    vth_beam: float = 0.5
+    alpha: float = 1e-3
+    mode: int = 1
+
+    def __post_init__(self):
+        if not 0.0 < self.n_beam < 1.0:
+            raise ValueError("n_beam must be in (0, 1)")
+
+    def kx(self, grid: GridSpec) -> float:
+        return 2 * np.pi * self.mode / grid.lx
+
+    def sample(self, n, grid, rng=None, quiet=False):
+        x = grid.xmin + sample_perturbed_positions(
+            n, grid.lx, self.alpha, self.kx(grid), rng, quiet
+        )
+        if quiet:
+            y = grid.ymin + grid.ly * halton_sequence(n, 3)
+            in_beam = halton_sequence(n, 5) < self.n_beam
+        else:
+            y = grid.ymin + grid.ly * rng.random(n)
+            in_beam = rng.random(n) < self.n_beam
+        vx, vy = _maxwellian(n, self.vth, rng, quiet)
+        vxb, _ = _maxwellian(n, self.vth_beam, rng, quiet, bases=(13, 17))
+        vx = np.where(in_beam, self.v_beam + vxb, vx)
+        return x, y, vx, vy
+
+    def default_grid(self):
+        # resonant mode near v_beam: k ~ omega_p / v_beam
+        return GridSpec(64, 64, 0.0, 8 * np.pi, 0.0, 8 * np.pi)
+
+
+def load_particles(
+    grid: GridSpec,
+    ordering: CellOrdering,
+    case: InitialCondition,
+    n: int,
+    layout: str = "soa",
+    seed: int | None = 0,
+    quiet: bool = False,
+    density: float = 1.0,
+    presorted: bool = True,
+    store_coords: bool = True,
+) -> ParticleStorage:
+    """Sample ``n`` particles of ``case`` into a particle container.
+
+    The macro-particle weight is set so the sampled population
+    represents a plasma of mean number density ``density``:
+    ``w = density * area / n`` (so ``sum w = density * Lx * Ly``).
+
+    ``presorted=True`` performs the initial sort by cell index that the
+    pseudo-code's initialization step requires (line 1 of Fig. 1).
+    """
+    rng = np.random.default_rng(seed) if seed is not None else None
+    if not quiet and rng is None:
+        raise ValueError("random start requires a seed")
+    x_phys, y_phys, vx, vy = case.sample(n, grid, rng, quiet)
+    xg, yg = grid.to_grid_coords(x_phys, y_phys)
+    ix, iy, dxo, dyo = grid.split_coords(xg, yg)
+    icell = ordering.encode(ix, iy)
+    if presorted:
+        order = np.argsort(icell, kind="stable")
+        icell, ix, iy = icell[order], ix[order], iy[order]
+        dxo, dyo, vx, vy = dxo[order], dyo[order], vx[order], vy[order]
+    weight = density * grid.area / n
+    storage = make_storage(layout, n, weight=weight, store_coords=store_coords)
+    storage.set_state(
+        icell,
+        dxo,
+        dyo,
+        vx,
+        vy,
+        ix if store_coords else None,
+        iy if store_coords else None,
+    )
+    return storage

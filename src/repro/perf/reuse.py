@@ -1,0 +1,123 @@
+"""Reuse-distance analysis of memory traces.
+
+A trace's *reuse-distance profile* — for each access, the number of
+distinct cache lines touched since the previous access to the same
+line — fully determines its miss counts in a fully-associative LRU
+cache of any size (an access hits a cache of capacity C iff its reuse
+distance is < C).  Profiling the PIC loops' traces explains the §IV-B
+results structurally: the space-filling curves compress the reuse
+distances of the field accesses under the cache capacity, row-major
+leaves a heavy tail past it.
+
+Exact reuse distances cost O(n log n) (an order-statistics tree); this
+implementation uses the classical two-pass approach over numpy with a
+Fenwick (binary indexed) tree in compact Python — fine for the
+10^5-10^6-access traces the experiments produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ReuseProfile", "reuse_distances", "reuse_profile", "miss_ratio_curve"]
+
+
+def reuse_distances(addresses: np.ndarray, line_bytes: int = 64) -> np.ndarray:
+    """Exact LRU reuse distance of every access (-1 = first touch).
+
+    The distance counts *distinct* lines touched strictly between two
+    accesses to the same line.
+    """
+    lines = np.asarray(addresses, dtype=np.int64) >> (
+        int(line_bytes).bit_length() - 1
+    )
+    n = len(lines)
+    out = np.empty(n, dtype=np.int64)
+    # Fenwick tree over access positions: tree[i] = 1 while position i
+    # holds the *latest* access of its line
+    tree = [0] * (n + 1)
+
+    def update(i, delta):
+        i += 1
+        while i <= n:
+            tree[i] += delta
+            i += i & (-i)
+
+    def prefix(i):  # sum of [0, i)
+        s = 0
+        while i > 0:
+            s += tree[i]
+            i -= i & (-i)
+        return s
+
+    last_pos: dict[int, int] = {}
+    total_active = 0
+    for pos, line in enumerate(lines.tolist()):
+        prev = last_pos.get(line)
+        if prev is None:
+            out[pos] = -1
+        else:
+            # distinct lines touched after prev = active markers in
+            # (prev, pos)
+            out[pos] = total_active - prefix(prev + 1)
+            update(prev, -1)
+            total_active -= 1
+        update(pos, +1)
+        total_active += 1
+        last_pos[line] = pos
+    return out
+
+
+@dataclass(frozen=True)
+class ReuseProfile:
+    """Summary statistics of a trace's reuse-distance distribution."""
+
+    n_accesses: int
+    n_cold: int
+    #: distances of the non-cold accesses, sorted ascending
+    distances: np.ndarray
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.distances)) if len(self.distances) else 0.0
+
+    def fraction_within(self, capacity_lines: int) -> float:
+        """Fraction of reuses that hit a fully-associative LRU cache of
+        ``capacity_lines`` lines — the miss-ratio-curve point."""
+        if not len(self.distances):
+            return 0.0
+        return float(np.count_nonzero(self.distances < capacity_lines)) / len(
+            self.distances
+        )
+
+    def tail_fraction(self, capacity_lines: int) -> float:
+        """Fraction of reuses *past* the capacity (the misses)."""
+        return 1.0 - self.fraction_within(capacity_lines)
+
+
+def reuse_profile(addresses: np.ndarray, line_bytes: int = 64) -> ReuseProfile:
+    """Compute the :class:`ReuseProfile` of a byte-address trace."""
+    d = reuse_distances(addresses, line_bytes)
+    cold = d < 0
+    return ReuseProfile(
+        n_accesses=len(d),
+        n_cold=int(cold.sum()),
+        distances=np.sort(d[~cold]),
+    )
+
+
+def miss_ratio_curve(
+    profile: ReuseProfile, capacities_lines
+) -> dict[int, float]:
+    """Miss ratio vs cache capacity (fully-associative LRU), including
+    cold misses.  The executable form of the stack-distance theory the
+    cache experiments rest on."""
+    out = {}
+    for cap in capacities_lines:
+        hits = profile.fraction_within(int(cap)) * (
+            profile.n_accesses - profile.n_cold
+        )
+        out[int(cap)] = 1.0 - hits / profile.n_accesses
+    return out

@@ -1,0 +1,45 @@
+"""3d3v PIC — the paper's closing outlook, built.
+
+§VI: "formulas also exist for space-filling curves in three
+dimensions.  Thus, the efficient PIC code we developed in this work
+opens up the possibility to run simulations ... in a three-dimensional
+physical space."  This subpackage takes that step with the same design
+vocabulary as the 2D code:
+
+* a 3D Morton (or row-major) cell ordering over a power-of-two box
+  (:mod:`repro.pic3d.ordering3d`, built on
+  :mod:`repro.curves.curves3d`);
+* the redundant cell-based layout generalized to 8 corners per cell:
+  ``rho_1d[ncell][8]`` and ``e_1d[ncell][24]`` (3 components x 8
+  corners — three cache lines per cell on a 64-byte-line machine);
+* trilinear (Cloud-in-Cell) accumulate/interpolate kernels and the
+  branchless bitwise position update (:mod:`repro.pic3d.kernels3d`);
+* a 3D spectral Poisson solver and a leap-frog stepper
+  (:mod:`repro.pic3d.stepper3d`) validated on 3D Landau damping.
+"""
+
+from repro.pic3d.ordering3d import Morton3DOrdering, Ordering3D, RowMajor3DOrdering
+from repro.pic3d.grid3d import GridSpec3D, RedundantFields3D
+from repro.pic3d.kernels3d import (
+    accumulate_redundant_3d,
+    corner_weights_3d,
+    interpolate_redundant_3d,
+    push_positions_bitwise_3d,
+)
+from repro.pic3d.poisson3d import SpectralPoissonSolver3D
+from repro.pic3d.stepper3d import LandauDamping3D, PICStepper3D
+
+__all__ = [
+    "Ordering3D",
+    "RowMajor3DOrdering",
+    "Morton3DOrdering",
+    "GridSpec3D",
+    "RedundantFields3D",
+    "corner_weights_3d",
+    "accumulate_redundant_3d",
+    "interpolate_redundant_3d",
+    "push_positions_bitwise_3d",
+    "SpectralPoissonSolver3D",
+    "PICStepper3D",
+    "LandauDamping3D",
+]

@@ -1,0 +1,114 @@
+"""3D cell orderings: row-major and Morton over a power-of-two box."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.curves.base import require_power_of_two
+from repro.curves.curves3d import morton_decode_3d, morton_encode_3d
+
+__all__ = ["Ordering3D", "RowMajor3DOrdering", "Morton3DOrdering"]
+
+
+class Ordering3D(abc.ABC):
+    """Bijection between ``(ix, iy, iz)`` and a linear cell index."""
+
+    name = "abstract3d"
+
+    def __init__(self, ncx: int, ncy: int, ncz: int):
+        if min(ncx, ncy, ncz) <= 0:
+            raise ValueError("grid dims must be positive")
+        self.ncx, self.ncy, self.ncz = int(ncx), int(ncy), int(ncz)
+
+    @property
+    def ncells(self) -> int:
+        return self.ncx * self.ncy * self.ncz
+
+    @property
+    def ncells_allocated(self) -> int:
+        return self.ncells
+
+    @abc.abstractmethod
+    def encode(self, ix, iy, iz) -> np.ndarray: ...
+
+    @abc.abstractmethod
+    def decode(self, icell) -> tuple[np.ndarray, np.ndarray, np.ndarray]: ...
+
+    def index_map(self) -> np.ndarray:
+        ix, iy, iz = np.meshgrid(
+            np.arange(self.ncx), np.arange(self.ncy), np.arange(self.ncz),
+            indexing="ij",
+        )
+        return self.encode(ix, iy, iz)
+
+
+class RowMajor3DOrdering(Ordering3D):
+    """Canonical C layout: ``((ix * ncy) + iy) * ncz + iz``."""
+
+    name = "row-major-3d"
+
+    def encode(self, ix, iy, iz):
+        ix = np.asarray(ix, dtype=np.int64)
+        iy = np.asarray(iy, dtype=np.int64)
+        iz = np.asarray(iz, dtype=np.int64)
+        return (ix * self.ncy + iy) * self.ncz + iz
+
+    def decode(self, icell):
+        icell = np.asarray(icell, dtype=np.int64)
+        iz = icell % self.ncz
+        rest = icell // self.ncz
+        return rest // self.ncy, rest % self.ncy, iz
+
+
+class Morton3DOrdering(Ordering3D):
+    """3D Z-order via 3-way dilated integers (cube side power of two).
+
+    Like its 2D counterpart the layout is cache-oblivious; for
+    rectangular boxes the surplus high bits of longer dimensions are
+    appended above the interleaved bits.
+    """
+
+    name = "morton-3d"
+
+    def __init__(self, ncx: int, ncy: int, ncz: int):
+        super().__init__(ncx, ncy, ncz)
+        self.logs = (
+            require_power_of_two(ncx, "ncx"),
+            require_power_of_two(ncy, "ncy"),
+            require_power_of_two(ncz, "ncz"),
+        )
+        self.shared = min(self.logs)
+        if max(self.logs) > 16:
+            raise ValueError("Morton3D supports up to 2**16 cells per side")
+
+    def encode(self, ix, iy, iz):
+        ix = np.asarray(ix, dtype=np.int64)
+        iy = np.asarray(iy, dtype=np.int64)
+        iz = np.asarray(iz, dtype=np.int64)
+        k = self.shared
+        mask = (1 << k) - 1
+        base = morton_encode_3d(ix & mask, iy & mask, iz & mask)
+        shift = 3 * k
+        # append surplus high bits dimension by dimension (x, then y, z)
+        for coord, log in zip((ix, iy, iz), self.logs):
+            if log > k:
+                base = base | ((coord >> k) << shift)
+                shift += log - k
+        return base
+
+    def decode(self, icell):
+        icell = np.asarray(icell, dtype=np.int64)
+        k = self.shared
+        low = icell & ((1 << (3 * k)) - 1)
+        ix, iy, iz = morton_decode_3d(low)
+        shift = 3 * k
+        coords = [ix, iy, iz]
+        for i, log in enumerate(self.logs):
+            if log > k:
+                extra = log - k
+                high = (icell >> shift) & ((1 << extra) - 1)
+                coords[i] = coords[i] | (high << k)
+                shift += extra
+        return tuple(coords)

@@ -1,0 +1,45 @@
+"""3D spectral Poisson solver on a periodic box."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pic3d.grid3d import GridSpec3D
+
+__all__ = ["SpectralPoissonSolver3D"]
+
+
+class SpectralPoissonSolver3D:
+    """Fourier solver: ``-lap(phi) = rho/eps0``, ``E = -grad(phi)``.
+
+    The direct 3D extension of the 2D Fourier method (§II); the k=0
+    mode is projected out (neutralizing background).
+    """
+
+    def __init__(self, grid: GridSpec3D, eps0: float = 1.0):
+        self.grid = grid
+        self.eps0 = float(eps0)
+        dx, dy, dz = grid.spacings
+        kx = 2 * np.pi * np.fft.fftfreq(grid.ncx, d=dx)
+        ky = 2 * np.pi * np.fft.fftfreq(grid.ncy, d=dy)
+        kz = 2 * np.pi * np.fft.rfftfreq(grid.ncz, d=dz)
+        self._kx = kx[:, None, None]
+        self._ky = ky[None, :, None]
+        self._kz = kz[None, None, :]
+        k2 = self._kx**2 + self._ky**2 + self._kz**2
+        k2[0, 0, 0] = 1.0
+        self._inv_k2 = 1.0 / k2
+
+    def solve(self, rho: np.ndarray):
+        """Returns ``(phi, ex, ey, ez)`` at grid points."""
+        g = self.grid
+        if rho.shape != g.shape:
+            raise ValueError(f"rho must be {g.shape}, got {rho.shape}")
+        rho_hat = np.fft.rfftn(rho)
+        phi_hat = rho_hat * self._inv_k2 / self.eps0
+        phi_hat[0, 0, 0] = 0.0
+        phi = np.fft.irfftn(phi_hat, s=g.shape, axes=(0, 1, 2))
+        ex = -np.fft.irfftn(1j * self._kx * phi_hat, s=g.shape, axes=(0, 1, 2))
+        ey = -np.fft.irfftn(1j * self._ky * phi_hat, s=g.shape, axes=(0, 1, 2))
+        ez = -np.fft.irfftn(1j * self._kz * phi_hat, s=g.shape, axes=(0, 1, 2))
+        return phi, ex, ey, ez

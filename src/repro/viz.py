@@ -1,0 +1,79 @@
+"""Terminal visualization helpers for the examples and quick looks.
+
+Everything renders to plain strings (the examples print them), so the
+functions are unit-testable and need no display stack: a log-scale
+series plot, a 2D density raster, and a labeled horizontal bar chart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["log_series_plot", "density_raster", "bar_chart"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def log_series_plot(series, width: int = 72, height: int = 16, label: str = "") -> str:
+    """ASCII plot of a positive series on a log10 y-axis.
+
+    Zeros/negatives are clamped to the smallest positive value so a
+    noisy-floor series still renders.
+    """
+    s = np.asarray(series, dtype=np.float64)
+    if len(s) == 0:
+        raise ValueError("empty series")
+    positive = s[s > 0]
+    floor = positive.min() if len(positive) else 1e-300
+    logs = np.log10(np.maximum(s, floor))
+    lo, hi = float(logs.min()), float(logs.max())
+    span = max(hi - lo, 1e-12)
+    cols = np.linspace(0, len(s) - 1, width).astype(int)
+    rows = [[" "] * width for _ in range(height)]
+    for col, i in enumerate(cols):
+        level = int((logs[i] - lo) / span * (height - 1))
+        rows[height - 1 - level][col] = "*"
+    out = [f"  {label}  (log scale, 1e{lo:.1f} .. 1e{hi:.1f})"] if label else []
+    out += ["  |" + "".join(r) for r in rows]
+    out.append("  +" + "-" * width)
+    return "\n".join(out)
+
+
+def density_raster(hist: np.ndarray, flip_vertical: bool = True) -> str:
+    """Render a 2D histogram as shaded characters.
+
+    ``hist[i, j]``: ``i`` maps to columns (x), ``j`` to rows (the
+    second axis is drawn vertically, top-to-bottom unless
+    ``flip_vertical``).
+    """
+    h = np.asarray(hist, dtype=np.float64).T
+    if flip_vertical:
+        h = h[::-1]
+    mx = h.max() or 1.0
+    lines = []
+    for row in h:
+        lines.append(
+            "  |"
+            + "".join(
+                _SHADES[min(int(v / mx * (len(_SHADES) - 1)), len(_SHADES) - 1)]
+                for v in row
+            )
+        )
+    lines.append("  +" + "-" * h.shape[1])
+    return "\n".join(lines)
+
+
+def bar_chart(items: dict, width: int = 40, unit: str = "") -> str:
+    """Horizontal bar chart of ``{label: value}`` (non-negative values)."""
+    if not items:
+        raise ValueError("no items")
+    vals = list(items.values())
+    if min(vals) < 0:
+        raise ValueError("values must be non-negative")
+    mx = max(vals) or 1.0
+    label_w = max(len(str(k)) for k in items)
+    lines = []
+    for k, v in items.items():
+        bar = "#" * max(int(v / mx * width), 1 if v > 0 else 0)
+        lines.append(f"  {str(k):{label_w}s} |{bar:<{width}s}| {v:g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.curves import get_ordering
+from repro.grid import GridSpec
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_grid():
+    """A 16x16 grid on [0, 4pi)^2 — small enough for scalar oracles."""
+    return GridSpec(16, 16, 0.0, 4 * np.pi, 0.0, 4 * np.pi)
+
+
+@pytest.fixture(params=["row-major", "column-major", "l4d", "morton", "hilbert"])
+def any_ordering(request):
+    """Each registered ordering on a 16x16 grid."""
+    return get_ordering(request.param, 16, 16)
+
+
+def random_particle_arrays(rng, n, ncx, ncy):
+    """Plain attribute arrays for n random in-bounds particles."""
+    ix = rng.integers(0, ncx, n)
+    iy = rng.integers(0, ncy, n)
+    dx = rng.random(n)
+    dy = rng.random(n)
+    vx = rng.normal(0, 1, n)
+    vy = rng.normal(0, 1, n)
+    return ix, iy, dx, dy, vx, vy

@@ -1,0 +1,154 @@
+"""CLI tests (driving main() in-process, capturing stdout)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_case(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--case", "tokamak"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.case == "landau"
+        assert args.ordering == "morton"
+        assert args.seed is None
+
+
+class TestInfo:
+    def test_lists_orderings_and_machines(self, capsys):
+        code, out = run_cli(capsys, "info")
+        assert code == 0
+        for token in ("morton", "hilbert", "haswell", "sandybridge", "channels"):
+            assert token in out
+
+
+class TestOrderings:
+    def test_morton_map(self, capsys):
+        code, out = run_cli(capsys, "orderings", "--ordering", "morton", "--size", "4")
+        assert code == 0
+        # 4x4 morton contains indices 0..15, first row "0 1 4 5"
+        assert "0 1 4 5" in out.replace("  ", " ").replace("  ", " ")
+
+    def test_l4d_tile_param(self, capsys):
+        code, out = run_cli(
+            capsys, "orderings", "--ordering", "l4d", "--size", "8", "--l4d-size", "2"
+        )
+        assert code == 0
+        assert "allocated 64" in out
+
+
+class TestLocality:
+    def test_reports_all_orderings(self, capsys):
+        code, out = run_cli(capsys, "locality", "--size", "16")
+        assert code == 0
+        for name in ("row-major", "l4d", "morton", "hilbert"):
+            assert name in out
+        # row-major is the 50% anchor
+        assert "50.0%" in out
+
+
+class TestTuneSort:
+    @pytest.mark.parametrize("machine", ["haswell", "sandybridge"])
+    def test_reports_best(self, capsys, machine):
+        code, out = run_cli(capsys, "tune-sort", "--machine", machine,
+                            "--particles", "1000000")
+        assert code == 0
+        assert "<- best" in out
+
+    def test_growth_changes_optimum(self, capsys):
+        _, out_lo = run_cli(capsys, "tune-sort", "--growth", "0.01")
+        _, out_hi = run_cli(capsys, "tune-sort", "--growth", "0.8")
+
+        def best_period(text):
+            for line in text.splitlines():
+                if "<- best" in line:
+                    return int(line.split("sort every")[1].split(":")[0])
+            raise AssertionError("no best line")
+
+        assert best_period(out_hi) <= best_period(out_lo)
+
+
+class TestMisses:
+    def test_reports_requested_orderings(self, capsys):
+        code, out = run_cli(
+            capsys, "misses", "--orderings", "row-major", "morton",
+            "--particles", "4000", "--iterations", "3", "--grid-side", "32",
+            "--sort-period", "2",
+        )
+        assert code == 0
+        assert "row-major" in out and "morton" in out
+        assert "scaled machine" in out
+
+    def test_single_ordering(self, capsys):
+        code, out = run_cli(
+            capsys, "misses", "--orderings", "l4d",
+            "--particles", "2000", "--iterations", "2", "--grid-side", "16",
+        )
+        assert code == 0
+        assert "l4d" in out
+
+
+class TestRun:
+    def test_landau_quickrun(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "--case", "landau", "--particles", "5000",
+            "--steps", "5", "--grid", "16", "8", "--every", "5",
+        )
+        assert code == 0
+        assert "energy drift" in out
+        assert "throughput" in out
+
+    def test_seeded_run_deterministic(self, capsys):
+        argv = ["run", "--case", "landau", "--particles", "3000",
+                "--steps", "3", "--grid", "16", "8", "--seed", "7"]
+        _, out1 = run_cli(capsys, *argv)
+        _, out2 = run_cli(capsys, *argv)
+
+        def physics_lines(text):  # drop the wall-clock throughput line
+            return [l for l in text.splitlines() if "throughput" not in l]
+
+        assert physics_lines(out1) == physics_lines(out2)
+
+    def test_hilbert_ordering_switches_update(self, capsys):
+        # hilbert must run (position update silently switched to modulo)
+        code, out = run_cli(
+            capsys, "run", "--particles", "2000", "--steps", "2",
+            "--grid", "16", "8", "--ordering", "hilbert",
+        )
+        assert code == 0
+        assert "ordering=hilbert" in out
+
+    def test_checkpoint_written(self, capsys, tmp_path):
+        ck = tmp_path / "state.npz"
+        code, out = run_cli(
+            capsys, "run", "--particles", "2000", "--steps", "2",
+            "--grid", "16", "8", "--checkpoint", str(ck),
+        )
+        assert code == 0
+        assert ck.exists()
+        from repro.core.checkpoint import load_checkpoint
+
+        st = load_checkpoint(ck)
+        assert st.iteration == 2
+
+    def test_bump_on_tail_case(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "--case", "bump-on-tail", "--particles", "4000",
+            "--steps", "3", "--grid", "16", "8",
+        )
+        assert code == 0
+        assert "case=bump-on-tail" in out

@@ -1,0 +1,132 @@
+"""Tests for the sort-period autotuner (§IV-E future work)."""
+
+import pytest
+
+from repro.core import OptimizationConfig
+from repro.core.autotune import (
+    SortPeriodAutoTuner,
+    TuneResult,
+    tune_sort_period_model,
+)
+from repro.perf.costmodel import LoopCostModel, LoopKind
+from repro.perf.machine import MachineSpec
+
+BASE_MISSES = {
+    LoopKind.UPDATE_V: {"L2": 0.10, "L3": 0.03},
+    LoopKind.UPDATE_X: {},
+    LoopKind.ACCUMULATE: {"L2": 0.06, "L3": 0.02},
+}
+
+
+class TestModelTuner:
+    @pytest.fixture
+    def model(self):
+        return LoopCostModel(MachineSpec.haswell())
+
+    @pytest.fixture
+    def config(self):
+        return OptimizationConfig.fully_optimized()
+
+    def test_finds_interior_optimum(self, model, config):
+        res = tune_sort_period_model(model, config, 1_000_000, BASE_MISSES)
+        assert res.best_period in res.costs
+        # an interior optimum: both extremes cost more
+        periods = sorted(res.costs)
+        assert res.costs[res.best_period] <= res.costs[periods[0]]
+        assert res.costs[res.best_period] <= res.costs[periods[-1]]
+
+    def test_costlier_misses_mean_sorting_more_often(self, model, config):
+        """The paper's observation: Haswell (sort every 20) vs Sandy
+        Bridge (every 50) — pricier stalls shift the optimum down."""
+        cheap = tune_sort_period_model(
+            model, config, 1_000_000, BASE_MISSES, miss_growth_per_iter=0.01
+        )
+        pricey = tune_sort_period_model(
+            model, config, 1_000_000, BASE_MISSES, miss_growth_per_iter=0.5
+        )
+        assert pricey.best_period <= cheap.best_period
+
+    def test_zero_growth_never_sorts(self, model, config):
+        res = tune_sort_period_model(
+            model, config, 1_000_000, BASE_MISSES, miss_growth_per_iter=0.0
+        )
+        # with no disorder penalty the longest period wins
+        assert res.best_period == max(res.costs)
+
+    def test_rejects_negative_growth(self, model, config):
+        with pytest.raises(ValueError):
+            tune_sort_period_model(
+                model, config, 1000, BASE_MISSES, miss_growth_per_iter=-0.1
+            )
+
+    def test_cost_of_accessor(self, model, config):
+        res = tune_sort_period_model(model, config, 1000, BASE_MISSES)
+        for p, c in res.costs.items():
+            assert res.cost_of(p) == c
+
+
+class TestOnlineTuner:
+    def _cost_fn(self, period):
+        # synthetic landscape with minimum at 20
+        return 1.0 / period + 0.002 * period
+
+    def test_walks_candidates_then_settles(self):
+        tuner = SortPeriodAutoTuner(candidates=(5, 20, 100), trial_iterations=3)
+        seen = []
+        for _ in range(9):
+            p = tuner.period
+            seen.append(p)
+            tuner.record(self._cost_fn(p))
+        assert seen == [5, 5, 5, 20, 20, 20, 100, 100, 100]
+        assert tuner.finished
+        assert tuner.result().best_period == 20
+        # after finishing, period returns the winner
+        assert tuner.period == 20
+
+    def test_partial_trial_excluded(self):
+        tuner = SortPeriodAutoTuner(candidates=(5, 20), trial_iterations=4)
+        for _ in range(4):
+            tuner.record(self._cost_fn(5))
+        tuner.record(self._cost_fn(20))  # partial second trial
+        res = tuner.result()
+        assert res.best_period == 5  # only completed trials count
+
+    def test_no_trials_raises(self):
+        tuner = SortPeriodAutoTuner()
+        with pytest.raises(RuntimeError):
+            tuner.result()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SortPeriodAutoTuner(candidates=())
+        with pytest.raises(ValueError):
+            SortPeriodAutoTuner(trial_iterations=0)
+
+    def test_record_after_finish_is_noop(self):
+        tuner = SortPeriodAutoTuner(candidates=(7,), trial_iterations=1)
+        tuner.record(1.0)
+        assert tuner.finished
+        tuner.record(99.0)
+        assert tuner.result().costs[7] == 1.0
+
+    def test_result_type(self):
+        tuner = SortPeriodAutoTuner(candidates=(3,), trial_iterations=1)
+        tuner.record(2.0)
+        assert isinstance(tuner.result(), TuneResult)
+
+
+class TestEndToEndWithModel:
+    def test_tuner_against_model_landscape(self):
+        """Drive the online tuner with modeled costs: it must find the
+        same optimum as the analytic sweep."""
+        model = LoopCostModel(MachineSpec.haswell())
+        cfg = OptimizationConfig.fully_optimized()
+        candidates = (5, 10, 20, 50, 100)
+        analytic = tune_sort_period_model(
+            model, cfg, 1_000_000, BASE_MISSES,
+            miss_growth_per_iter=0.08, candidates=candidates,
+        )
+        tuner = SortPeriodAutoTuner(candidates=candidates, trial_iterations=2)
+        while not tuner.finished:
+            tuner.record(analytic.cost_of(tuner.period))
+        assert tuner.result().best_period == analytic.best_period

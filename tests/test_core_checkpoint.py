@@ -1,0 +1,120 @@
+"""Checkpoint save/restore tests: bit-exact continuation."""
+
+import numpy as np
+import pytest
+
+from repro.core import OptimizationConfig, PICStepper
+from repro.core.checkpoint import (
+    CheckpointMismatchError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.grid import GridSpec
+from repro.particles import LandauDamping
+
+
+@pytest.fixture
+def grid():
+    return GridSpec(16, 16, 0.0, 4 * np.pi, 0.0, 4 * np.pi)
+
+
+def fresh_stepper(grid, cfg=None, n=3000):
+    cfg = cfg or OptimizationConfig.fully_optimized()
+    return PICStepper(
+        grid, cfg, case=LandauDamping(alpha=0.05), n_particles=n,
+        dt=0.1, quiet=True, seed=None,
+    )
+
+
+class TestRoundTrip:
+    def test_restore_continues_bit_exactly(self, grid, tmp_path):
+        a = fresh_stepper(grid)
+        a.run(5)
+        path = save_checkpoint(a, tmp_path / "ck.npz")
+        b = load_checkpoint(path)
+        # continue both for several steps: fields must match exactly
+        a.run(7)
+        b.run(7)
+        np.testing.assert_array_equal(a.ex_grid, b.ex_grid)
+        np.testing.assert_array_equal(
+            np.asarray(a.particles.dx), np.asarray(b.particles.dx)
+        )
+        assert b.iteration == a.iteration
+
+    def test_restore_preserves_metadata(self, grid, tmp_path):
+        a = fresh_stepper(grid)
+        a.run(3)
+        b = load_checkpoint(save_checkpoint(a, tmp_path / "ck.npz"))
+        assert b.dt == a.dt
+        assert b.q == a.q and b.m == a.m
+        assert b.particles.weight == a.particles.weight
+        assert b.particles.n == a.particles.n
+        assert b.config == a.config
+
+    @pytest.mark.parametrize(
+        "cfg",
+        [
+            OptimizationConfig.baseline(),
+            OptimizationConfig.fully_optimized("l4d", size=8),
+            OptimizationConfig.fully_optimized().with_(hoisting=False),
+        ],
+        ids=["baseline", "l4d", "no-hoist"],
+    )
+    def test_roundtrip_across_configs(self, grid, tmp_path, cfg):
+        a = fresh_stepper(grid, cfg)
+        a.run(4)
+        b = load_checkpoint(save_checkpoint(a, tmp_path / "ck.npz"))
+        a.step()
+        b.step()
+        np.testing.assert_array_equal(a.ex_grid, b.ex_grid)
+
+    def test_sort_state_continues(self, grid, tmp_path):
+        cfg = OptimizationConfig.fully_optimized().with_(sort_period=4)
+        a = fresh_stepper(grid, cfg)
+        a.run(3)  # next step sorts
+        b = load_checkpoint(save_checkpoint(a, tmp_path / "ck.npz"))
+        a.run(3)
+        b.run(3)
+        np.testing.assert_array_equal(a.ex_grid, b.ex_grid)
+
+
+class TestCompatibilityChecks:
+    def test_incompatible_layout_rejected(self, grid, tmp_path):
+        a = fresh_stepper(grid)
+        path = save_checkpoint(a, tmp_path / "ck.npz")
+        with pytest.raises(CheckpointMismatchError, match="particle_layout"):
+            load_checkpoint(
+                path, OptimizationConfig.fully_optimized().with_(particle_layout="aos")
+            )
+
+    def test_incompatible_ordering_rejected(self, grid, tmp_path):
+        a = fresh_stepper(grid)
+        path = save_checkpoint(a, tmp_path / "ck.npz")
+        with pytest.raises(CheckpointMismatchError, match="ordering"):
+            load_checkpoint(
+                path, OptimizationConfig.fully_optimized("hilbert")
+            )
+
+    def test_compatible_override_allowed(self, grid, tmp_path):
+        """Changing the sort period is state-compatible."""
+        a = fresh_stepper(grid)
+        a.run(2)
+        path = save_checkpoint(a, tmp_path / "ck.npz")
+        b = load_checkpoint(
+            path, OptimizationConfig.fully_optimized().with_(sort_period=7)
+        )
+        assert b.config.sort_period == 7
+        b.step()  # runs fine
+
+    def test_bad_version_rejected(self, grid, tmp_path):
+        import json
+
+        a = fresh_stepper(grid)
+        path = save_checkpoint(a, tmp_path / "ck.npz")
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files if k != "_meta"}
+            meta = json.loads(str(data["_meta"]))
+        meta["format_version"] = 999
+        np.savez_compressed(path, _meta=json.dumps(meta), **arrays)
+        with pytest.raises(CheckpointMismatchError, match="version"):
+            load_checkpoint(path)

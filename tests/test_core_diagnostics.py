@@ -1,0 +1,100 @@
+"""Diagnostics tests: energies, mode amplitudes, rate fits."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import (
+    damping_rate_fit,
+    field_energy,
+    growth_rate_fit,
+    kinetic_energy,
+    log_envelope_peaks,
+    mode_amplitude,
+)
+
+
+class TestEnergies:
+    def test_field_energy_formula(self):
+        ex = np.full((4, 4), 2.0)
+        ey = np.zeros((4, 4))
+        assert field_energy(ex, ey, cell_area=0.5) == pytest.approx(
+            0.5 * 16 * 4.0 * 0.5
+        )
+
+    def test_field_energy_eps0(self):
+        ex = np.ones((2, 2))
+        assert field_energy(ex, ex, 1.0, eps0=3.0) == pytest.approx(
+            3.0 * field_energy(ex, ex, 1.0)
+        )
+
+    def test_kinetic_energy_formula(self):
+        vx = np.array([1.0, 2.0])
+        vy = np.array([0.0, 2.0])
+        assert kinetic_energy(vx, vy, weight=2.0, mass=3.0) == pytest.approx(
+            0.5 * 3.0 * 2.0 * (1 + 4 + 4)
+        )
+
+    def test_energies_nonnegative(self, rng):
+        assert field_energy(rng.normal(size=(8, 8)), rng.normal(size=(8, 8)), 0.1) >= 0
+        assert kinetic_energy(rng.normal(size=100), rng.normal(size=100), 1.0) >= 0
+
+
+class TestModeAmplitude:
+    def test_pure_cosine_mode(self):
+        n = 32
+        x = np.arange(n)
+        rho = 0.8 * np.cos(2 * np.pi * 3 * x / n)[:, None] * np.ones((1, n))
+        assert mode_amplitude(rho, 3, 0) == pytest.approx(0.4, rel=1e-12)
+
+    def test_orthogonal_mode_zero(self):
+        n = 32
+        x = np.arange(n)
+        rho = np.cos(2 * np.pi * 3 * x / n)[:, None] * np.ones((1, n))
+        assert mode_amplitude(rho, 2, 0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_constant_field_zero_in_nonzero_mode(self):
+        assert mode_amplitude(np.ones((16, 16)), 1, 0) == 0.0
+
+
+class TestEnvelopeAndFits:
+    def _damped_series(self, gamma, omega=1.4, t_end=30.0, dt=0.05):
+        t = np.arange(0.0, t_end, dt)
+        # field energy of a damped oscillation ~ e^{2 gamma t} cos^2
+        e = np.exp(2 * gamma * t) * np.cos(omega * t) ** 2 + 1e-30
+        return t, e
+
+    def test_log_envelope_peaks_finds_maxima(self):
+        t, e = self._damped_series(-0.1)
+        tp, logp = log_envelope_peaks(e, t)
+        assert len(tp) >= 10
+        # peaks spaced by pi/omega
+        np.testing.assert_allclose(np.diff(tp), np.pi / 1.4, atol=0.06)
+
+    def test_damping_rate_recovered(self):
+        t, e = self._damped_series(-0.153)
+        rate = damping_rate_fit(e, t)
+        assert rate == pytest.approx(-0.153, abs=0.005)
+
+    def test_damping_rate_window(self):
+        t, e = self._damped_series(-0.2)
+        rate = damping_rate_fit(e, t, t_min=5.0, t_max=20.0)
+        assert rate == pytest.approx(-0.2, abs=0.01)
+
+    def test_growth_rate_recovered(self):
+        t = np.arange(0.0, 20.0, 0.1)
+        e = 1e-6 * np.exp(2 * 0.35 * t)
+        assert growth_rate_fit(e, t) == pytest.approx(0.35, rel=1e-6)
+
+    def test_growth_rate_window(self):
+        t = np.arange(0.0, 30.0, 0.1)
+        e = 1e-6 * np.exp(2 * 0.2 * np.minimum(t, 15.0))  # saturates
+        g = growth_rate_fit(e, t, t_min=2.0, t_max=12.0)
+        assert g == pytest.approx(0.2, rel=1e-6)
+
+    def test_fit_errors_on_short_series(self):
+        with pytest.raises(ValueError):
+            log_envelope_peaks(np.array([1.0, 2.0]), np.array([0.0, 1.0]))
+        with pytest.raises(ValueError):
+            damping_rate_fit(np.ones(5), np.arange(5.0), t_min=100.0)
+        with pytest.raises(ValueError):
+            growth_rate_fit(np.ones(5), np.arange(5.0), t_min=100.0)

@@ -1,0 +1,287 @@
+"""Kernel tests: vectorized kernels vs the scalar reference oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import (
+    accumulate_redundant,
+    accumulate_standard,
+    interpolate_redundant,
+    interpolate_standard,
+    push_positions_bitwise,
+    push_positions_branch,
+    push_positions_modulo,
+    update_velocities,
+    _axis_bitwise,
+    _axis_branch,
+    _axis_modulo,
+)
+from repro.core.reference import (
+    accumulate_redundant_ref,
+    accumulate_standard_ref,
+    interpolate_redundant_ref,
+    interpolate_standard_ref,
+    push_axis_ref,
+)
+from repro.curves import get_ordering
+from repro.particles import make_storage
+from tests.conftest import random_particle_arrays
+
+NCX = NCY = 16
+
+
+class TestAccumulateStandard:
+    def test_matches_reference(self, rng):
+        ix, iy, dx, dy, _, _ = random_particle_arrays(rng, 200, NCX, NCY)
+        rho = np.zeros((NCX, NCY))
+        ref = np.zeros((NCX, NCY))
+        accumulate_standard(rho, ix, iy, dx, dy, charge=0.7)
+        accumulate_standard_ref(ref, ix, iy, dx, dy, charge=0.7)
+        np.testing.assert_allclose(rho, ref, atol=1e-12)
+
+    def test_charge_conservation(self, rng):
+        ix, iy, dx, dy, _, _ = random_particle_arrays(rng, 500, NCX, NCY)
+        rho = np.zeros((NCX, NCY))
+        accumulate_standard(rho, ix, iy, dx, dy, charge=2.0)
+        assert rho.sum() == pytest.approx(2.0 * 500, rel=1e-12)
+
+    def test_periodic_wrap_on_edges(self):
+        rho = np.zeros((NCX, NCY))
+        accumulate_standard(
+            rho,
+            np.array([NCX - 1]),
+            np.array([NCY - 1]),
+            np.array([0.5]),
+            np.array([0.5]),
+        )
+        assert rho[0, 0] == pytest.approx(0.25)
+        assert rho[NCX - 1, 0] == pytest.approx(0.25)
+        assert rho[0, NCY - 1] == pytest.approx(0.25)
+
+    def test_accumulates_additively(self, rng):
+        ix, iy, dx, dy, _, _ = random_particle_arrays(rng, 100, NCX, NCY)
+        rho = np.zeros((NCX, NCY))
+        accumulate_standard(rho, ix, iy, dx, dy)
+        once = rho.copy()
+        accumulate_standard(rho, ix, iy, dx, dy)
+        np.testing.assert_allclose(rho, 2 * once, atol=1e-12)
+
+
+class TestAccumulateRedundant:
+    def test_matches_reference(self, rng):
+        o = get_ordering("morton", NCX, NCY)
+        ix, iy, dx, dy, _, _ = random_particle_arrays(rng, 200, NCX, NCY)
+        icell = o.encode(ix, iy)
+        rho = np.zeros((o.ncells_allocated, 4))
+        ref = np.zeros((o.ncells_allocated, 4))
+        accumulate_redundant(rho, icell, dx, dy, charge=1.3)
+        accumulate_redundant_ref(ref, icell, dx, dy, charge=1.3)
+        np.testing.assert_allclose(rho, ref, atol=1e-12)
+
+    def test_charge_conservation(self, rng):
+        o = get_ordering("l4d", NCX, NCY, size=8)
+        ix, iy, dx, dy, _, _ = random_particle_arrays(rng, 300, NCX, NCY)
+        rho = np.zeros((o.ncells_allocated, 4))
+        accumulate_redundant(rho, o.encode(ix, iy), dx, dy, charge=-1.0)
+        assert rho.sum() == pytest.approx(-300.0, rel=1e-12)
+
+    @pytest.mark.parametrize("name", ["row-major", "l4d", "morton", "hilbert"])
+    def test_equivalent_to_standard_after_reduction(self, rng, name, small_grid):
+        """The central layout invariant: redundant deposit + fold ==
+        standard deposit, for every ordering."""
+        from repro.grid import RedundantFields
+
+        o = get_ordering(name, NCX, NCY)
+        fields = RedundantFields(small_grid, o)
+        ix, iy, dx, dy, _, _ = random_particle_arrays(rng, 400, NCX, NCY)
+        accumulate_redundant(fields.rho_1d, o.encode(ix, iy), dx, dy, charge=0.5)
+        std = np.zeros((NCX, NCY))
+        accumulate_standard(std, ix, iy, dx, dy, charge=0.5)
+        np.testing.assert_allclose(fields.reduce_rho_to_grid(), std, atol=1e-12)
+
+
+class TestInterpolate:
+    def test_standard_matches_reference(self, rng):
+        ix, iy, dx, dy, _, _ = random_particle_arrays(rng, 150, NCX, NCY)
+        ex = rng.random((NCX, NCY))
+        ey = rng.random((NCX, NCY))
+        fx, fy = interpolate_standard(ex, ey, ix, iy, dx, dy)
+        rx, ry = interpolate_standard_ref(ex, ey, ix, iy, dx, dy)
+        np.testing.assert_allclose(fx, rx, atol=1e-12)
+        np.testing.assert_allclose(fy, ry, atol=1e-12)
+
+    def test_redundant_matches_reference(self, rng):
+        o = get_ordering("morton", NCX, NCY)
+        e_1d = rng.random((o.ncells_allocated, 8))
+        ix, iy, dx, dy, _, _ = random_particle_arrays(rng, 150, NCX, NCY)
+        icell = o.encode(ix, iy)
+        fx, fy = interpolate_redundant(e_1d, icell, dx, dy)
+        rx, ry = interpolate_redundant_ref(e_1d, icell, dx, dy)
+        np.testing.assert_allclose(fx, rx, atol=1e-12)
+        np.testing.assert_allclose(fy, ry, atol=1e-12)
+
+    def test_layouts_agree_on_same_field(self, rng, small_grid):
+        """Standard and redundant interpolation of the same grid field
+        must produce identical particle fields."""
+        from repro.grid import RedundantFields
+
+        o = get_ordering("l4d", NCX, NCY, size=4)
+        fields = RedundantFields(small_grid, o)
+        ex = rng.random((NCX, NCY))
+        ey = rng.random((NCX, NCY))
+        fields.load_field_from_grid(ex, ey)
+        ix, iy, dx, dy, _, _ = random_particle_arrays(rng, 300, NCX, NCY)
+        fx1, fy1 = interpolate_standard(ex, ey, ix, iy, dx, dy)
+        fx2, fy2 = interpolate_redundant(fields.e_1d, o.encode(ix, iy), dx, dy)
+        np.testing.assert_allclose(fx1, fx2, atol=1e-12)
+        np.testing.assert_allclose(fy1, fy2, atol=1e-12)
+
+    def test_interpolation_exact_at_nodes(self, rng):
+        ex = rng.random((NCX, NCY))
+        ey = rng.random((NCX, NCY))
+        ix = np.array([3, 7])
+        iy = np.array([2, 9])
+        zero = np.zeros(2)
+        fx, fy = interpolate_standard(ex, ey, ix, iy, zero, zero)
+        np.testing.assert_allclose(fx, ex[ix, iy])
+        np.testing.assert_allclose(fy, ey[ix, iy])
+
+    def test_interpolation_linear_in_offset(self, rng):
+        # along a cell edge the interpolant is linear
+        ex = rng.random((NCX, NCY))
+        ey = rng.random((NCX, NCY))
+        iy = np.zeros(3, dtype=int)
+        ix = np.zeros(3, dtype=int)
+        f0, _ = interpolate_standard(ex, ey, ix[:1], iy[:1], np.array([0.0]), np.array([0.0]))
+        f1, _ = interpolate_standard(ex, ey, ix[:1], iy[:1], np.array([1.0]), np.array([0.0]))
+        fh, _ = interpolate_standard(ex, ey, ix[:1], iy[:1], np.array([0.5]), np.array([0.0]))
+        assert fh[0] == pytest.approx(0.5 * (f0[0] + f1[0]))
+
+
+class TestUpdateVelocities:
+    def test_unit_coef_inplace_add(self, rng):
+        vx = rng.normal(size=10)
+        vy = rng.normal(size=10)
+        ex = rng.normal(size=10)
+        ey = rng.normal(size=10)
+        vx0, vy0 = vx.copy(), vy.copy()
+        update_velocities(vx, vy, ex, ey)
+        np.testing.assert_allclose(vx, vx0 + ex)
+        np.testing.assert_allclose(vy, vy0 + ey)
+
+    def test_scaled_coef(self, rng):
+        vx = np.zeros(5)
+        vy = np.zeros(5)
+        ex = np.ones(5)
+        ey = np.ones(5)
+        update_velocities(vx, vy, ex, ey, -0.5, 0.25)
+        np.testing.assert_allclose(vx, -0.5)
+        np.testing.assert_allclose(vy, 0.25)
+
+
+class TestAxisWraps:
+    """The three §IV-C periodic-wrap formulations must agree physically."""
+
+    @pytest.mark.parametrize("axis_fn", [_axis_branch, _axis_modulo, _axis_bitwise])
+    def test_position_equivalence_vs_reference(self, rng, axis_fn):
+        nc = 16
+        x = rng.uniform(-40, 56, 5000)
+        i, d = axis_fn(x, nc)
+        for k in range(0, 5000, 97):
+            ri, rd = push_axis_ref(float(x[k]), nc)
+            # same physical position modulo the box (offset may be the
+            # 1.0-boundary representation of the next cell)
+            pos = (int(i[k]) + float(d[k])) % nc
+            rpos = (ri + rd) % nc
+            assert pos == pytest.approx(rpos, abs=1e-9)
+
+    @pytest.mark.parametrize("axis_fn", [_axis_branch, _axis_modulo, _axis_bitwise])
+    def test_indices_in_range(self, rng, axis_fn):
+        i, d = axis_fn(rng.uniform(-100, 100, 10_000), 32)
+        assert i.min() >= 0 and i.max() < 32
+        assert d.min() >= 0.0 and d.max() <= 1.0
+
+    def test_bitwise_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            _axis_bitwise(np.array([1.5]), 12)
+
+    def test_inside_particles_unchanged(self, rng):
+        x = rng.uniform(0, 16, 1000)
+        for fn in (_axis_branch, _axis_modulo, _axis_bitwise):
+            i, d = fn(x, 16)
+            np.testing.assert_allclose(i + d, x, atol=1e-12, err_msg=fn.__name__)
+
+    def test_exact_negative_integer(self):
+        # x = -2.0: all variants must land at physical position 14
+        for fn in (_axis_branch, _axis_modulo, _axis_bitwise):
+            i, d = fn(np.array([-2.0]), 16)
+            assert (float(i[0]) + float(d[0])) % 16 == pytest.approx(14.0), fn.__name__
+
+
+@pytest.mark.parametrize(
+    "push", [push_positions_branch, push_positions_modulo, push_positions_bitwise]
+)
+@pytest.mark.parametrize("layout", ["soa", "aos"])
+class TestPushPositions:
+    def _make(self, rng, layout, ordering, n=400):
+        ix, iy, dx, dy, vx, vy = random_particle_arrays(rng, n, NCX, NCY)
+        s = make_storage(layout, n, store_coords=True)
+        s.set_state(ordering.encode(ix, iy), dx, dy, vx, vy, ix, iy)
+        return s
+
+    def test_consistency_icell_coords(self, rng, push, layout):
+        o = get_ordering("morton", NCX, NCY)
+        s = self._make(rng, layout, o)
+        push(s, NCX, NCY, o)
+        np.testing.assert_array_equal(
+            np.asarray(s.icell), o.encode(np.asarray(s.ix), np.asarray(s.iy))
+        )
+
+    def test_displacement_correct(self, rng, push, layout):
+        o = get_ordering("row-major", NCX, NCY)
+        s = self._make(rng, layout, o)
+        x_before = np.asarray(s.ix) + np.asarray(s.dx)
+        v = np.asarray(s.vx).copy()
+        push(s, NCX, NCY, o)
+        x_after = np.asarray(s.ix) + np.asarray(s.dx)
+        wrapped = np.mod(x_after - x_before - v + NCX / 2, NCX) - NCX / 2
+        np.testing.assert_allclose(wrapped, 0.0, atol=1e-9)
+
+    def test_velocity_scaling(self, rng, push, layout):
+        o = get_ordering("row-major", NCX, NCY)
+        s = self._make(rng, layout, o)
+        x_before = np.asarray(s.ix) + np.asarray(s.dx)
+        v = np.asarray(s.vx).copy()
+        push(s, NCX, NCY, o, scale_x=0.5, scale_y=0.5)
+        x_after = np.asarray(s.ix) + np.asarray(s.dx)
+        wrapped = np.mod(x_after - x_before - 0.5 * v + NCX / 2, NCX) - NCX / 2
+        np.testing.assert_allclose(wrapped, 0.0, atol=1e-9)
+
+    def test_without_stored_coords(self, rng, push, layout):
+        o = get_ordering("row-major", NCX, NCY)
+        ix, iy, dx, dy, vx, vy = random_particle_arrays(rng, 200, NCX, NCY)
+        s = make_storage(layout, 200, store_coords=False)
+        s.set_state(o.encode(ix, iy), dx, dy, vx, vy)
+        push(s, NCX, NCY, o)
+        jx, jy = o.decode(np.asarray(s.icell))
+        assert jx.min() >= 0 and jx.max() < NCX
+
+
+class TestPushVariantsAgree:
+    """branch / modulo / bitwise must produce the same physical state."""
+
+    @pytest.mark.parametrize("ordering_name", ["row-major", "morton"])
+    def test_all_variants_same_physical_positions(self, rng, ordering_name):
+        o = get_ordering(ordering_name, NCX, NCY)
+        ix, iy, dx, dy, vx, vy = random_particle_arrays(rng, 1000, NCX, NCY)
+        vx *= 10  # multi-cell moves, both directions
+        results = []
+        for push in (push_positions_branch, push_positions_modulo, push_positions_bitwise):
+            s = make_storage("soa", 1000, store_coords=True)
+            s.set_state(o.encode(ix, iy), dx, dy, vx, vy, ix, iy)
+            push(s, NCX, NCY, o)
+            results.append(
+                (np.asarray(s.ix) + np.asarray(s.dx)) % NCX
+            )
+        np.testing.assert_allclose(results[0], results[1], atol=1e-9)
+        np.testing.assert_allclose(results[0] % NCX, results[2] % NCX, atol=1e-9)

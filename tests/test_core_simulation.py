@@ -1,0 +1,74 @@
+"""Simulation façade tests: history recording, derived series."""
+
+import numpy as np
+import pytest
+
+from repro.core import OptimizationConfig, Simulation
+from repro.grid import GridSpec
+from repro.particles import LandauDamping
+
+
+@pytest.fixture
+def sim():
+    grid = GridSpec(16, 16, 0.0, 4 * np.pi, 0.0, 4 * np.pi)
+    return Simulation(
+        grid,
+        LandauDamping(alpha=0.05),
+        3000,
+        OptimizationConfig.fully_optimized(),
+        dt=0.1,
+        quiet=True,
+        seed=None,
+    )
+
+
+class TestHistory:
+    def test_initial_state_recorded(self, sim):
+        assert len(sim.history.times) == 1
+        assert sim.history.times[0] == 0.0
+        assert sim.history.field_energy[0] > 0
+
+    def test_run_appends_per_step(self, sim):
+        sim.run(5)
+        assert len(sim.history.times) == 6
+        np.testing.assert_allclose(np.diff(sim.history.times), 0.1)
+
+    def test_as_arrays_keys_and_lengths(self, sim):
+        sim.run(3)
+        arr = sim.history.as_arrays()
+        assert set(arr) == {
+            "times", "field_energy", "kinetic_energy", "mode_amplitude", "total_energy",
+        }
+        assert all(len(v) == 4 for v in arr.values())
+
+    def test_total_energy_sum(self, sim):
+        sim.run(2)
+        h = sim.history
+        np.testing.assert_allclose(
+            h.total_energy,
+            np.asarray(h.field_energy) + np.asarray(h.kinetic_energy),
+        )
+
+    def test_energy_drift_small(self, sim):
+        sim.run(20)
+        assert sim.history.energy_drift() < 5e-3
+
+    def test_mode_amplitude_positive_initially(self, sim):
+        # the perturbed mode is present at t=0
+        assert sim.history.mode_amplitude[0] > 1e-4
+
+    def test_run_returns_history(self, sim):
+        h = sim.run(1)
+        assert h is sim.history
+
+
+class TestAccessors:
+    def test_particles_and_grid_proxies(self, sim):
+        assert sim.particles.n == 3000
+        assert sim.grid.ncx == 16
+        assert sim.timings.steps == 0
+
+    def test_default_config(self):
+        grid = GridSpec(16, 16, 0.0, 4 * np.pi, 0.0, 4 * np.pi)
+        s = Simulation(grid, LandauDamping(), 100, quiet=True, seed=None)
+        assert s.config == OptimizationConfig()

@@ -1,0 +1,214 @@
+"""Per-ordering unit tests: closed forms, layouts, known index maps."""
+
+import numpy as np
+import pytest
+
+from repro.curves import (
+    ColumnMajorOrdering,
+    HilbertOrdering,
+    L4DOrdering,
+    MortonOrdering,
+    RowMajorOrdering,
+    dilate_16,
+    hilbert_decode_2d,
+    hilbert_encode_2d,
+    morton_decode_2d,
+    morton_encode_2d,
+    undilate_16,
+)
+
+
+class TestRowMajor:
+    def test_closed_form(self):
+        o = RowMajorOrdering(8, 16)
+        assert o.encode(3, 5) == 3 * 16 + 5
+
+    def test_y_moves_are_unit_steps(self):
+        o = RowMajorOrdering(8, 8)
+        assert o.encode(2, 4) + 1 == o.encode(2, 5)
+
+    def test_x_moves_jump_by_ncy(self):
+        o = RowMajorOrdering(8, 16)
+        assert o.encode(3, 5) + 16 == o.encode(4, 5)
+
+    def test_rectangular(self):
+        o = RowMajorOrdering(4, 32)
+        m = o.index_map()
+        assert m[0, 31] == 31 and m[1, 0] == 32
+
+
+class TestColumnMajor:
+    def test_closed_form(self):
+        o = ColumnMajorOrdering(8, 16)
+        assert o.encode(3, 5) == 5 * 8 + 3
+
+    def test_transpose_of_row_major(self):
+        rm = RowMajorOrdering(8, 8).index_map()
+        cm = ColumnMajorOrdering(8, 8).index_map()
+        np.testing.assert_array_equal(cm, rm.T)
+
+
+class TestL4D:
+    def test_paper_closed_form(self):
+        # icell = SIZE*ix + mod(iy, SIZE) + ncx*SIZE*(iy/SIZE)  (§IV-B)
+        o = L4DOrdering(128, 128, size=8)
+        ix, iy = 13, 27
+        expected = 8 * ix + (iy % 8) + 128 * 8 * (iy // 8)
+        assert o.encode(ix, iy) == expected
+
+    def test_figure4_corners(self):
+        # Fig. 4: 128x128, SIZE=8 — first column segment is 0..7, the
+        # second (ix=1) 8..15; cell (0,8) starts band 2 at 1024
+        o = L4DOrdering(128, 128, size=8)
+        assert o.encode(0, 0) == 0
+        assert o.encode(0, 7) == 7
+        assert o.encode(1, 0) == 8
+        assert o.encode(127, 7) == 1023
+        assert o.encode(0, 8) == 1024
+        assert o.encode(127, 127) == 16383
+
+    def test_size_ncy_is_row_major_permutation(self):
+        # paper: SIZE=ncy corresponds to the row-major ordering
+        l4d = L4DOrdering(8, 8, size=8).index_map()
+        rm = RowMajorOrdering(8, 8).index_map()
+        np.testing.assert_array_equal(l4d, rm)
+
+    def test_size_one_is_column_major(self):
+        l4d = L4DOrdering(8, 8, size=1).index_map()
+        cm = ColumnMajorOrdering(8, 8).index_map()
+        np.testing.assert_array_equal(l4d, cm)
+
+    def test_vertical_moves_mostly_unit(self):
+        o = L4DOrdering(16, 16, size=8)
+        # within a band, +1 in iy moves the index by +1
+        assert o.encode(3, 2) + 1 == o.encode(3, 3)
+        # crossing the band boundary jumps
+        assert o.encode(3, 8) - o.encode(3, 7) != 1
+
+    def test_horizontal_moves_jump_by_size(self):
+        o = L4DOrdering(16, 16, size=8)
+        assert o.encode(4, 3) + 8 == o.encode(5, 3)
+
+    def test_padding_when_size_does_not_divide(self):
+        # paper: "a few allocated cells ... that will never be accessed"
+        o = L4DOrdering(8, 10, size=4)
+        assert o.nbands == 3
+        assert o.ncells_allocated == 8 * 4 * 3  # 96 > 80 real cells
+        m = o.index_map()
+        assert len(np.unique(m)) == 80
+        assert m.max() < o.ncells_allocated
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            L4DOrdering(8, 8, size=0)
+
+    def test_decode_roundtrip_with_padding(self):
+        o = L4DOrdering(8, 10, size=4)
+        ix = np.arange(8).repeat(10)
+        iy = np.tile(np.arange(10), 8)
+        jx, jy = o.decode(o.encode(ix, iy))
+        np.testing.assert_array_equal(ix, jx)
+        np.testing.assert_array_equal(iy, jy)
+
+
+class TestDilatedIntegers:
+    def test_dilate_small_values(self):
+        # 0b11 -> 0b0101, 0b111 -> 0b010101
+        assert dilate_16(np.array([0b11]))[0] == 0b0101
+        assert dilate_16(np.array([0b111]))[0] == 0b010101
+
+    def test_dilate_max_16bit(self):
+        v = dilate_16(np.array([0xFFFF]))[0]
+        assert v == 0x55555555
+
+    def test_undilate_inverts_dilate(self, rng):
+        x = rng.integers(0, 1 << 16, 1000)
+        np.testing.assert_array_equal(undilate_16(dilate_16(x)), x.astype(np.uint32))
+
+    def test_dilate_is_bit_interleave_zero(self):
+        # dilated bits land in even positions
+        x = np.array([0b1011])
+        d = int(dilate_16(x)[0])
+        for bit in range(16):
+            assert ((d >> (2 * bit + 1)) & 1) == 0
+
+
+class TestMorton:
+    def test_known_8x8_map(self):
+        # Fig. 3's N-order: the four quadrants of a 4x4 block follow
+        # the Z pattern
+        o = MortonOrdering(8, 8)
+        assert o.encode(0, 0) == 0
+        assert o.encode(0, 1) == 1
+        assert o.encode(1, 0) == 2
+        assert o.encode(1, 1) == 3
+        assert o.encode(0, 2) == 4
+        assert o.encode(2, 0) == 8
+        assert o.encode(7, 7) == 63
+
+    def test_encode_decode_functions(self, rng):
+        ix = rng.integers(0, 256, 500)
+        iy = rng.integers(0, 256, 500)
+        code = morton_encode_2d(ix, iy)
+        jx, jy = morton_decode_2d(code)
+        np.testing.assert_array_equal(ix, jx)
+        np.testing.assert_array_equal(iy, jy)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            MortonOrdering(12, 8)
+
+    def test_rectangular_wide(self):
+        o = MortonOrdering(4, 16)
+        m = o.index_map()
+        assert len(np.unique(m)) == 64
+        assert m.max() == 63
+
+    def test_rectangular_tall(self):
+        o = MortonOrdering(32, 4)
+        m = o.index_map()
+        assert len(np.unique(m)) == 128
+        assert m.max() == 127
+
+    def test_unit_y_move_often_unit_index(self):
+        # half of all +1 y-moves flip only the lowest bit
+        o = MortonOrdering(16, 16)
+        m = o.index_map()
+        deltas = m[:, 1::2] - m[:, 0:-1:2]
+        assert np.all(deltas == 1)
+
+
+class TestHilbert:
+    def test_first_quadrant_order_4x4(self):
+        # this implementation's 4x4 walk starts (0,0)->(1,0)->(1,1)->(0,1)
+        # (the x-first reflection of the canonical curve)
+        d = hilbert_encode_2d(2, np.array([0, 1, 1, 0]), np.array([0, 0, 1, 1]))
+        np.testing.assert_array_equal(d, [0, 1, 2, 3])
+
+    def test_encode_decode_roundtrip(self, rng):
+        order = 6
+        ix = rng.integers(0, 64, 1000)
+        iy = rng.integers(0, 64, 1000)
+        jx, jy = hilbert_decode_2d(order, hilbert_encode_2d(order, ix, iy))
+        np.testing.assert_array_equal(ix, jx)
+        np.testing.assert_array_equal(iy, jy)
+
+    def test_consecutive_indices_are_grid_neighbors(self):
+        # the defining Hilbert property
+        order = 4
+        n = 1 << order
+        d = np.arange(n * n)
+        x, y = hilbert_decode_2d(order, d)
+        step = np.abs(np.diff(x)) + np.abs(np.diff(y))
+        np.testing.assert_array_equal(step, np.ones(n * n - 1))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            HilbertOrdering(8, 6)
+
+    def test_rectangular_tiles(self):
+        o = HilbertOrdering(16, 4)
+        m = o.index_map()
+        assert len(np.unique(m)) == 64
+        # second tile starts after the first square's 16 cells
+        assert sorted(m[:4, :].ravel()) == list(range(16))

@@ -1,0 +1,208 @@
+"""Tests for the smaller extensions: interlaced fields, new diagnostics,
+bump-on-tail initial condition."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import (
+    momentum,
+    phase_space_histogram,
+    velocity_histogram,
+    velocity_moments,
+)
+from repro.grid import GridSpec, InterlacedFields, StandardFields
+from repro.particles import BumpOnTail
+
+
+class TestInterlacedFields:
+    @pytest.fixture
+    def fields(self, small_grid):
+        return InterlacedFields(small_grid)
+
+    def test_component_views_alias_storage(self, fields, rng):
+        ex = rng.random((16, 16))
+        ey = rng.random((16, 16))
+        fields.set_field_from_grid(ex, ey)
+        np.testing.assert_array_equal(fields.ex, ex)
+        np.testing.assert_array_equal(fields.ey, ey)
+        # views alias exy: writing through them lands in the record
+        fields.ex[3, 4] = 99.0
+        assert fields.exy[3, 4, 0] == 99.0
+
+    def test_views_are_strided(self, fields):
+        # the defining property: component access is stride-2 doubles
+        assert fields.ex.strides[-1] == 16
+        assert fields.ey.strides[-1] == 16
+
+    def test_point_record_contiguous(self, fields, rng):
+        fields.set_field_from_grid(rng.random((16, 16)), rng.random((16, 16)))
+        rec = fields.exy[5, 7]
+        assert rec.flags["C_CONTIGUOUS"]
+        assert rec.shape == (2,)
+
+    def test_interpolation_agrees_with_standard(self, small_grid, rng):
+        """The layout changes memory, not math: interpolating from the
+        strided views equals the standard layout exactly."""
+        from repro.core.kernels import interpolate_standard
+        from tests.conftest import random_particle_arrays
+
+        inter = InterlacedFields(small_grid)
+        std = StandardFields(small_grid)
+        ex = rng.random((16, 16))
+        ey = rng.random((16, 16))
+        inter.set_field_from_grid(ex, ey)
+        std.set_field_from_grid(ex, ey)
+        ix, iy, dx, dy, _, _ = random_particle_arrays(rng, 200, 16, 16)
+        fx1, fy1 = interpolate_standard(inter.ex, inter.ey, ix, iy, dx, dy)
+        fx2, fy2 = interpolate_standard(std.ex, std.ey, ix, iy, dx, dy)
+        np.testing.assert_allclose(fx1, fx2, atol=1e-14)
+        np.testing.assert_allclose(fy1, fy2, atol=1e-14)
+
+    def test_rho_and_reset(self, fields):
+        fields.rho[1, 1] = 5.0
+        assert fields.rho_grid()[1, 1] == 5.0
+        fields.reset_rho()
+        assert fields.rho.sum() == 0.0
+
+    def test_memory_between_standard_and_redundant(self, small_grid):
+        from repro.curves import get_ordering
+        from repro.grid import RedundantFields
+
+        inter = InterlacedFields(small_grid).memory_bytes
+        std = StandardFields(small_grid).memory_bytes
+        red = RedundantFields(small_grid, get_ordering("morton", 16, 16)).memory_bytes
+        assert inter == std  # same data, different arrangement
+        assert red > 3 * inter
+
+
+class TestMomentum:
+    def test_formula(self):
+        px, py = momentum(np.array([1.0, 2.0]), np.array([-1.0, 0.5]), 2.0, 3.0)
+        assert px == pytest.approx(2.0 * 3.0 * 3.0)
+        assert py == pytest.approx(2.0 * 3.0 * -0.5)
+
+    def test_conserved_in_periodic_run(self):
+        from repro.core import OptimizationConfig, PICStepper
+        from repro.particles import LandauDamping
+
+        grid = GridSpec(16, 16, 0.0, 4 * np.pi, 0.0, 4 * np.pi)
+        st = PICStepper(
+            grid, OptimizationConfig.fully_optimized(),
+            case=LandauDamping(alpha=0.1), n_particles=5000,
+            dt=0.1, quiet=True, seed=None,
+        )
+        vx, vy = st.physical_velocities()
+        p0 = momentum(vx, vy, st.particles.weight)
+        st.run(20)
+        vx, vy = st.physical_velocities()
+        p1 = momentum(vx, vy, st.particles.weight)
+        scale = st.particles.weight * st.particles.n  # typical momentum scale
+        assert abs(p1[0] - p0[0]) < 1e-6 * scale
+        assert abs(p1[1] - p0[1]) < 1e-6 * scale
+
+
+class TestVelocityDiagnostics:
+    def test_moments_of_maxwellian(self, rng):
+        v = rng.normal(0.5, 2.0, 400_000)
+        m = velocity_moments(v)
+        assert m["mean"] == pytest.approx(0.5, abs=0.02)
+        assert m["std"] == pytest.approx(2.0, rel=0.01)
+        assert abs(m["skewness"]) < 0.02
+        assert abs(m["excess_kurtosis"]) < 0.05
+
+    def test_moments_of_bimodal(self, rng):
+        v = np.concatenate([rng.normal(-3, 0.2, 50_000), rng.normal(3, 0.2, 50_000)])
+        m = velocity_moments(v)
+        assert m["excess_kurtosis"] < -1.5  # strongly bimodal
+
+    def test_moments_degenerate(self):
+        m = velocity_moments(np.full(10, 1.5))
+        assert m["std"] == 0.0 and m["skewness"] == 0.0
+
+    def test_histogram_normalized(self, rng):
+        v = rng.normal(0, 1, 100_000)
+        centers, f = velocity_histogram(v, vmax=6.0, bins=48)
+        width = centers[1] - centers[0]
+        assert np.sum(f) * width == pytest.approx(1.0, rel=1e-12)
+        # shape: peaks near 0
+        assert abs(centers[np.argmax(f)]) < 0.5
+
+    def test_histogram_rejects_bad_vmax(self):
+        with pytest.raises(ValueError):
+            velocity_histogram(np.zeros(5), vmax=0.0)
+
+
+class TestPhaseSpaceHistogram:
+    def test_counts_all_particles(self):
+        from repro.core import OptimizationConfig, PICStepper
+        from repro.particles import TwoStream
+
+        grid = GridSpec(16, 16, 0.0, 10 * np.pi, 0.0, 10 * np.pi)
+        st = PICStepper(
+            grid, OptimizationConfig.fully_optimized(),
+            case=TwoStream(), n_particles=4000, dt=0.1, quiet=True, seed=None,
+        )
+        h = phase_space_histogram(st, vmax=8.0, bins=(32, 16))
+        assert h.shape == (32, 16)
+        assert h.sum() == 4000
+
+    def test_two_stream_is_bimodal_in_v(self):
+        from repro.core import OptimizationConfig, PICStepper
+        from repro.particles import TwoStream
+
+        grid = GridSpec(16, 16, 0.0, 10 * np.pi, 0.0, 10 * np.pi)
+        st = PICStepper(
+            grid, OptimizationConfig.fully_optimized(),
+            case=TwoStream(v0=2.4, vth=0.1), n_particles=8000,
+            dt=0.1, quiet=True, seed=None,
+        )
+        h = phase_space_histogram(st, vmax=5.0, bins=(16, 20))
+        v_profile = h.sum(axis=0)
+        mid = len(v_profile) // 2
+        # hole at v=0, mass at the beams
+        assert v_profile[mid - 1 : mid + 1].sum() < 0.05 * v_profile.sum()
+
+
+class TestBumpOnTail:
+    def test_velocity_distribution_shape(self):
+        case = BumpOnTail(n_beam=0.2, v_beam=4.0, vth=1.0, vth_beam=0.3)
+        g = case.default_grid()
+        _, _, vx, _ = case.sample(100_000, g, None, quiet=True)
+        # beam fraction
+        assert np.mean(vx > 3.0) == pytest.approx(0.2, abs=0.02)
+        # bulk centered at zero
+        bulk = vx[vx < 2.5]
+        assert np.mean(bulk) == pytest.approx(0.0, abs=0.05)
+
+    def test_rejects_bad_beam_fraction(self):
+        with pytest.raises(ValueError):
+            BumpOnTail(n_beam=0.0)
+        with pytest.raises(ValueError):
+            BumpOnTail(n_beam=1.5)
+
+    def test_runs_in_simulation(self):
+        from repro.core import OptimizationConfig, Simulation
+
+        case = BumpOnTail()
+        grid = GridSpec(32, 8, 0.0, 8 * np.pi, 0.0, 8 * np.pi)
+        sim = Simulation(
+            grid, case, 10_000, OptimizationConfig.fully_optimized(),
+            dt=0.1, quiet=True, seed=None,
+        )
+        sim.run(10)
+        assert sim.history.energy_drift() < 1e-2
+
+    @pytest.mark.slow
+    def test_instability_grows(self):
+        """The gentle-beam free energy drives wave growth."""
+        from repro.core import OptimizationConfig, Simulation
+        from repro.core.diagnostics import growth_rate_fit
+
+        case = BumpOnTail(n_beam=0.1, v_beam=4.0, vth=1.0, vth_beam=0.3, alpha=1e-3)
+        grid = GridSpec(64, 4, 0.0, 8 * np.pi, 0.0, 8 * np.pi)
+        sim = Simulation(
+            grid, case, 100_000, OptimizationConfig.fully_optimized(),
+            dt=0.1, quiet=True, seed=None,
+        )
+        h = sim.run(300).as_arrays()
+        assert h["field_energy"][-50:].mean() > 3 * h["field_energy"][1:20].mean()

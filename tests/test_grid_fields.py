@@ -1,0 +1,155 @@
+"""Field-layout tests: corner conventions, redundant round trips."""
+
+import numpy as np
+import pytest
+
+from repro.curves import get_ordering
+from repro.grid import (
+    GridSpec,
+    RedundantFields,
+    StandardFields,
+    corner_offsets,
+    corner_weights,
+)
+
+
+class TestCornerWeights:
+    def test_offsets_table(self):
+        np.testing.assert_array_equal(
+            corner_offsets(), [[0, 0], [0, 1], [1, 0], [1, 1]]
+        )
+
+    def test_weights_sum_to_one(self, rng):
+        w = corner_weights(rng.random(1000), rng.random(1000))
+        np.testing.assert_allclose(w.sum(axis=1), 1.0, atol=1e-14)
+
+    def test_weights_at_lower_corner(self):
+        w = corner_weights(np.array([0.0]), np.array([0.0]))
+        np.testing.assert_allclose(w[0], [1, 0, 0, 0])
+
+    def test_weights_at_upper_corner(self):
+        w = corner_weights(np.array([1.0]), np.array([1.0]))
+        np.testing.assert_allclose(w[0], [0, 0, 0, 1])
+
+    def test_weights_match_bilinear_products(self, rng):
+        dx = rng.random(50)
+        dy = rng.random(50)
+        w = corner_weights(dx, dy)
+        np.testing.assert_allclose(w[:, 0], (1 - dx) * (1 - dy))
+        np.testing.assert_allclose(w[:, 1], (1 - dx) * dy)
+        np.testing.assert_allclose(w[:, 2], dx * (1 - dy))
+        np.testing.assert_allclose(w[:, 3], dx * dy)
+
+    def test_weights_nonnegative(self, rng):
+        w = corner_weights(rng.random(200), rng.random(200))
+        assert w.min() >= 0
+
+
+class TestStandardFields:
+    def test_shapes_and_reset(self, small_grid):
+        f = StandardFields(small_grid)
+        assert f.rho.shape == (16, 16)
+        f.rho[3, 4] = 7.0
+        f.reset_rho()
+        assert f.rho.sum() == 0.0
+
+    def test_set_field(self, small_grid, rng):
+        f = StandardFields(small_grid)
+        ex = rng.random((16, 16))
+        ey = rng.random((16, 16))
+        f.set_field_from_grid(ex, ey)
+        np.testing.assert_array_equal(f.ex, ex)
+        np.testing.assert_array_equal(f.ey, ey)
+
+    def test_memory_accounting(self, small_grid):
+        f = StandardFields(small_grid)
+        assert f.memory_bytes == 3 * 16 * 16 * 8
+
+
+@pytest.fixture(params=["row-major", "l4d", "morton", "hilbert"])
+def redundant(request, small_grid):
+    ordering = get_ordering(request.param, 16, 16)
+    return RedundantFields(small_grid, ordering)
+
+
+class TestRedundantFields:
+    def test_allocation(self, redundant):
+        assert redundant.rho_1d.shape == (redundant.ordering.ncells_allocated, 4)
+        assert redundant.e_1d.shape == (redundant.ordering.ncells_allocated, 8)
+
+    def test_memory_is_4x_standard_rho(self, small_grid, redundant):
+        std = StandardFields(small_grid)
+        # paper: the redundant structure needs four times more memory
+        assert redundant.rho_1d.nbytes == 4 * std.rho.nbytes
+
+    def test_rejects_mismatched_ordering(self, small_grid):
+        with pytest.raises(ValueError):
+            RedundantFields(small_grid, get_ordering("row-major", 8, 8))
+
+    def test_field_broadcast_roundtrip(self, redundant, rng):
+        ex = rng.random((16, 16))
+        ey = rng.random((16, 16))
+        redundant.load_field_from_grid(ex, ey)
+        bx, by = redundant.field_at_grid()
+        np.testing.assert_allclose(bx, ex)
+        np.testing.assert_allclose(by, ey)
+
+    def test_broadcast_corner_values_consistent(self, redundant, rng):
+        """Every cell's corner c must hold E at grid point (ix+ox, iy+oy)."""
+        ex = rng.random((16, 16))
+        ey = rng.random((16, 16))
+        redundant.load_field_from_grid(ex, ey)
+        o = redundant.ordering
+        idx = redundant.cell_index_map()
+        for c, (ox, oy) in enumerate(corner_offsets()):
+            gx = (np.arange(16)[:, None] + ox) % 16
+            gy = (np.arange(16)[None, :] + oy) % 16
+            np.testing.assert_allclose(redundant.e_1d[idx, c], ex[gx, gy])
+            np.testing.assert_allclose(redundant.e_1d[idx, 4 + c], ey[gx, gy])
+
+    def test_reduce_rho_folds_corners(self, redundant):
+        """A unit charge written to all 4 corners of one cell lands on
+        the cell's 4 surrounding grid points after reduction."""
+        o = redundant.ordering
+        icell = int(o.encode(3, 5))
+        redundant.rho_1d[icell, :] = 1.0
+        rho = redundant.reduce_rho_to_grid()
+        assert rho[3, 5] == 1.0
+        assert rho[3, 6] == 1.0
+        assert rho[4, 5] == 1.0
+        assert rho[4, 6] == 1.0
+        assert rho.sum() == 4.0
+
+    def test_reduce_rho_periodic_edges(self, redundant):
+        o = redundant.ordering
+        icell = int(o.encode(15, 15))
+        redundant.rho_1d[icell, 3] = 2.0  # corner (+1, +1) wraps to (0, 0)
+        rho = redundant.reduce_rho_to_grid()
+        assert rho[0, 0] == 2.0
+
+    def test_reduce_conserves_total(self, redundant, rng):
+        redundant.rho_1d[: redundant.ordering.ncells] = rng.random(
+            (redundant.ordering.ncells, 4)
+        )
+        total = redundant.rho_1d.sum()
+        assert redundant.reduce_rho_to_grid().sum() == pytest.approx(total)
+
+    def test_reset_rho(self, redundant):
+        redundant.rho_1d[:] = 3.0
+        redundant.reset_rho()
+        assert redundant.rho_1d.sum() == 0.0
+
+    def test_cell_index_map_readonly(self, redundant):
+        m = redundant.cell_index_map()
+        with pytest.raises(ValueError):
+            m[0, 0] = 1
+
+    def test_rho_grid_alias(self, redundant):
+        redundant.rho_1d[0, 0] = 1.0
+        np.testing.assert_array_equal(
+            redundant.rho_grid(), redundant.reduce_rho_to_grid()
+        )
+
+    def test_load_field_validates_shape(self, redundant):
+        with pytest.raises(ValueError):
+            redundant.load_field_from_grid(np.zeros((8, 8)), np.zeros((8, 8)))

@@ -1,0 +1,162 @@
+"""Simulated-OpenMP tests: partitioning, reductions, roofline scaling."""
+
+import numpy as np
+import pytest
+
+from repro.core import OptimizationConfig
+from repro.core.kernels import accumulate_redundant, accumulate_standard
+from repro.curves import get_ordering
+from repro.parallel.openmp import (
+    ThreadScalingModel,
+    parallel_accumulate_redundant,
+    parallel_accumulate_standard,
+    partition_range,
+)
+from repro.perf.costmodel import LoopKind
+from repro.perf.machine import MachineSpec
+from tests.conftest import random_particle_arrays
+
+OPT = OptimizationConfig.fully_optimized()
+
+
+class TestPartitionRange:
+    def test_covers_exactly(self):
+        slices = partition_range(100, 7)
+        covered = []
+        for sl in slices:
+            covered.extend(range(sl.start, sl.stop))
+        assert covered == list(range(100))
+
+    def test_balanced(self):
+        sizes = [sl.stop - sl.start for sl in partition_range(100, 7)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_threads_than_work(self):
+        slices = partition_range(2, 8)
+        assert len(slices) == 8
+        sizes = [sl.stop - sl.start for sl in slices]
+        assert sum(sizes) == 2
+
+    def test_rejects_bad_threads(self):
+        with pytest.raises(ValueError):
+            partition_range(10, 0)
+
+
+class TestParallelAccumulate:
+    @pytest.mark.parametrize("nthreads", [1, 2, 3, 8])
+    def test_redundant_matches_serial(self, rng, nthreads):
+        o = get_ordering("morton", 16, 16)
+        ix, iy, dx, dy, _, _ = random_particle_arrays(rng, 500, 16, 16)
+        icell = o.encode(ix, iy)
+        serial = np.zeros((o.ncells_allocated, 4))
+        accumulate_redundant(serial, icell, dx, dy, 0.7)
+        par = np.zeros_like(serial)
+        parallel_accumulate_redundant(par, icell, dx, dy, 0.7, nthreads)
+        np.testing.assert_allclose(par, serial, atol=1e-12)
+
+    @pytest.mark.parametrize("nthreads", [1, 2, 5])
+    def test_standard_matches_serial(self, rng, nthreads):
+        ix, iy, dx, dy, _, _ = random_particle_arrays(rng, 500, 16, 16)
+        serial = np.zeros((16, 16))
+        accumulate_standard(serial, ix, iy, dx, dy, -1.0)
+        par = np.zeros((16, 16))
+        parallel_accumulate_standard(par, ix, iy, dx, dy, -1.0, nthreads)
+        np.testing.assert_allclose(par, serial, atol=1e-12)
+
+    def test_adds_to_existing_content(self, rng):
+        o = get_ordering("row-major", 16, 16)
+        ix, iy, dx, dy, _, _ = random_particle_arrays(rng, 100, 16, 16)
+        rho = np.ones((o.ncells_allocated, 4))
+        parallel_accumulate_redundant(rho, o.encode(ix, iy), dx, dy, 1.0, 2)
+        assert rho.sum() == pytest.approx(o.ncells_allocated * 4 + 100)
+
+
+class TestThreadScalingModel:
+    @pytest.fixture
+    def model(self):
+        return ThreadScalingModel(MachineSpec.sandybridge())
+
+    def test_compute_bound_scales_linearly(self, model):
+        # accumulate is compute-bound at low threads
+        t1 = model.loop_seconds(LoopKind.ACCUMULATE, OPT, 10_000_000, 1)
+        t2 = model.loop_seconds(LoopKind.ACCUMULATE, OPT, 10_000_000, 2)
+        assert t1 / t2 == pytest.approx(2.0, rel=0.1)
+
+    def test_update_x_saturates_at_channels(self, model):
+        # Fig. 8: update-positions hits the bandwidth roof
+        t4 = model.loop_seconds(LoopKind.UPDATE_X, OPT, 50_000_000, 4)
+        t8 = model.loop_seconds(LoopKind.UPDATE_X, OPT, 50_000_000, 8)
+        assert t4 / t8 < 1.3  # far from the ideal 2x
+
+    def test_update_x_reaches_stream_bandwidth(self, model):
+        # Fig. 8: update-positions achieves STREAM-level bandwidth on 8
+        # threads while the irregular loops sit below it
+        bw_x = model.loop_bandwidth_gbs(LoopKind.UPDATE_X, OPT, 50_000_000, 8)
+        assert bw_x == pytest.approx(model.bw.bandwidth_gbs(8), rel=0.1)
+
+    def test_update_v_below_peak_bandwidth(self, model):
+        miss = {"L2": 0.5, "L3": 0.3}
+        bw_v = model.loop_bandwidth_gbs(LoopKind.UPDATE_V, OPT, 50_000_000, 8, miss)
+        assert bw_v < 0.8 * model.bw.bandwidth_gbs(8)
+
+    def test_iteration_keys_split(self, model):
+        out = model.iteration_seconds(OPT, 1_000_000, 4)
+        assert {"update_v", "update_x", "accumulate", "sort", "total"} <= set(out)
+
+    def test_iteration_keys_fused(self, model):
+        out = model.iteration_seconds(OPT.with_(loop_mode="fused"), 1_000_000, 4)
+        assert "particle_loops" in out
+        assert out["total"] >= out["particle_loops"]
+
+    def test_sort_parallelizes(self, model):
+        t1 = model.sort_seconds(OPT, 10_000_000, 1)
+        t4 = model.sort_seconds(OPT, 10_000_000, 4)
+        assert t4 < t1
+
+    def test_miss_bytes_increase_memory_time(self, model):
+        t0 = model.loop_seconds(LoopKind.UPDATE_V, OPT, 50_000_000, 8)
+        t1 = model.loop_seconds(
+            LoopKind.UPDATE_V, OPT, 50_000_000, 8, {"L3": 1.0}
+        )
+        assert t1 > t0
+
+
+class TestTable6And7Shapes:
+    """The thread-scaling tables' qualitative content."""
+
+    def test_table6_knee_at_eight_threads(self):
+        from repro.parallel.scaling import strong_scaling_threads
+
+        rows = dict(
+            strong_scaling_threads(
+                [1, 2, 4, 8], 50_000_000, 100,
+                MachineSpec.sandybridge(),
+                OPT.with_(sort_period=50),
+            )
+        )
+        # near-ideal to 4 threads (paper: 45.8 -> 89.9 -> 170)
+        assert rows[2] / rows[1] > 1.9
+        assert rows[4] / rows[1] > 3.4
+        # clear knee at 8 (paper: 266 vs ideal 366)
+        assert rows[8] / rows[1] < 7.0
+
+    def test_table7_ordering(self):
+        """Table VII: SoA-3loops < {SoA-1loop, AoS-3loops} < AoS-1loop."""
+        model = ThreadScalingModel(MachineSpec.sandybridge())
+        misses = {
+            k: {"L2": 0.3, "L3": 0.25} for k in LoopKind
+        }
+        fused_misses = {k: {"L2": 0.45, "L3": 0.4} for k in LoopKind}
+
+        def total(pl, lm):
+            cfg = OPT.with_(particle_layout=pl, loop_mode=lm, sort_period=50)
+            m = fused_misses if lm == "fused" else misses
+            return model.iteration_seconds(cfg, 50_000_000, 8, m)["total"]
+
+        soa3 = total("soa", "split")
+        soa1 = total("soa", "fused")
+        aos3 = total("aos", "split")
+        aos1 = total("aos", "fused")
+        assert soa3 < soa1
+        assert soa3 < aos3
+        assert aos1 >= soa1 * 0.95  # AoS never wins

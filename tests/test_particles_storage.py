@@ -1,0 +1,135 @@
+"""Particle-storage tests: SoA/AoS parity, reorder, memory layout."""
+
+import numpy as np
+import pytest
+
+from repro.particles import ParticleAoS, ParticleSoA, make_storage
+
+
+@pytest.fixture(params=["soa", "aos"])
+def storage(request):
+    return make_storage(request.param, 100, weight=0.5, store_coords=True)
+
+
+def fill(storage, rng):
+    n = storage.n
+    state = dict(
+        icell=rng.integers(0, 64, n),
+        dx=rng.random(n),
+        dy=rng.random(n),
+        vx=rng.normal(size=n),
+        vy=rng.normal(size=n),
+        ix=rng.integers(0, 8, n),
+        iy=rng.integers(0, 8, n),
+    )
+    storage.set_state(**state)
+    return state
+
+
+class TestFactory:
+    def test_makes_correct_types(self):
+        assert isinstance(make_storage("soa", 10), ParticleSoA)
+        assert isinstance(make_storage("aos", 10), ParticleAoS)
+
+    def test_rejects_unknown_layout(self):
+        with pytest.raises(ValueError):
+            make_storage("csr", 10)
+
+    def test_layout_attribute(self):
+        assert make_storage("soa", 1).layout == "soa"
+        assert make_storage("aos", 1).layout == "aos"
+
+
+class TestCommonBehaviour:
+    def test_set_and_read_state(self, storage, rng):
+        state = fill(storage, rng)
+        for k, v in state.items():
+            np.testing.assert_array_equal(np.asarray(getattr(storage, k)), v)
+
+    def test_inplace_mutation_through_views(self, storage, rng):
+        fill(storage, rng)
+        storage.vx[:] = 0.0
+        assert np.all(np.asarray(storage.vx) == 0.0)
+        storage.dx[:10] += 0.0  # slice views also writable
+        storage.icell[0] = 63
+        assert storage.icell[0] == 63
+
+    def test_reorder_out_of_place(self, storage, rng):
+        state = fill(storage, rng)
+        perm = rng.permutation(storage.n)
+        out = storage.reorder(perm)
+        assert out is not storage
+        for k, v in state.items():
+            np.testing.assert_array_equal(np.asarray(getattr(out, k)), v[perm])
+        # original untouched
+        np.testing.assert_array_equal(np.asarray(storage.dx), state["dx"])
+
+    def test_reorder_into_buffer(self, storage, rng):
+        state = fill(storage, rng)
+        buf = storage.clone_empty()
+        out = storage.reorder(np.arange(storage.n)[::-1], out=buf)
+        assert out is buf
+        np.testing.assert_array_equal(np.asarray(buf.vy), state["vy"][::-1])
+
+    def test_reorder_rejects_wrong_buffer_type(self, storage):
+        other = make_storage("aos" if storage.layout == "soa" else "soa", storage.n)
+        with pytest.raises(TypeError):
+            storage.reorder(np.arange(storage.n), out=other)
+
+    def test_clone_empty_same_shape(self, storage):
+        c = storage.clone_empty()
+        assert c.n == storage.n
+        assert c.weight == storage.weight
+        assert c.layout == storage.layout
+
+    def test_total_charge(self, storage):
+        assert storage.total_charge(-1.0) == pytest.approx(-0.5 * 100)
+
+    def test_as_dict_copies(self, storage, rng):
+        fill(storage, rng)
+        d = storage.as_dict()
+        d["vx"][:] = 99.0
+        assert not np.any(np.asarray(storage.vx) == 99.0)
+
+
+class TestCoordsOptional:
+    @pytest.mark.parametrize("layout", ["soa", "aos"])
+    def test_no_coords_raises_on_access(self, layout):
+        s = make_storage(layout, 5, store_coords=False)
+        with pytest.raises(AttributeError):
+            _ = s.ix
+        with pytest.raises(AttributeError):
+            _ = s.iy
+
+    @pytest.mark.parametrize("layout", ["soa", "aos"])
+    def test_set_state_without_coords(self, layout, rng):
+        s = make_storage(layout, 5, store_coords=False)
+        s.set_state(np.arange(5), *(rng.random(5) for _ in range(4)))
+        assert "ix" not in s.as_dict()
+
+    @pytest.mark.parametrize("layout", ["soa", "aos"])
+    def test_set_state_missing_coords_raises(self, layout, rng):
+        s = make_storage(layout, 5, store_coords=True)
+        with pytest.raises(ValueError):
+            s.set_state(np.arange(5), *(rng.random(5) for _ in range(4)))
+
+
+class TestLayoutDifferences:
+    def test_soa_views_contiguous(self, rng):
+        s = make_storage("soa", 50)
+        assert s.vx.strides == (8,)
+
+    def test_aos_views_strided(self, rng):
+        s = make_storage("aos", 50, store_coords=True)
+        # record = 7 fields x 8 bytes
+        assert s.vx.strides == (56,)
+
+    def test_aos_memory_one_block(self):
+        s = make_storage("aos", 10, store_coords=True)
+        assert s.memory_bytes == 10 * 56
+
+    def test_soa_memory_accounting(self):
+        s = make_storage("soa", 10, store_coords=True)
+        assert s.memory_bytes == 10 * 56
+        s2 = make_storage("soa", 10, store_coords=False)
+        assert s2.memory_bytes == 10 * 40

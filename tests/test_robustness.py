@@ -1,0 +1,197 @@
+"""Edge-case and failure-injection tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import OptimizationConfig, PICStepper, Simulation
+from repro.core.kernels import (
+    accumulate_redundant,
+    accumulate_standard,
+    interpolate_redundant,
+    push_positions_bitwise,
+)
+from repro.curves import get_ordering
+from repro.grid import GridSpec, RedundantFields
+from repro.particles import LandauDamping, make_storage
+from repro.particles.sorting import sort_in_place, sort_out_of_place
+
+
+class TestEmptyAndTiny:
+    def test_kernels_accept_empty_populations(self):
+        o = get_ordering("morton", 8, 8)
+        rho = np.zeros((o.ncells_allocated, 4))
+        empty_i = np.array([], dtype=np.int64)
+        empty_f = np.array([])
+        accumulate_redundant(rho, empty_i, empty_f, empty_f)
+        assert rho.sum() == 0
+        ex, ey = interpolate_redundant(np.zeros((64, 8)), empty_i, empty_f, empty_f)
+        assert len(ex) == 0
+
+    def test_standard_accumulate_empty(self):
+        rho = np.zeros((8, 8))
+        accumulate_standard(rho, np.array([], dtype=int), np.array([], dtype=int),
+                            np.array([]), np.array([]))
+        assert rho.sum() == 0
+
+    def test_push_empty_storage(self):
+        o = get_ordering("morton", 8, 8)
+        s = make_storage("soa", 0, store_coords=True)
+        push_positions_bitwise(s, 8, 8, o)  # must not raise
+        assert s.n == 0
+
+    def test_sort_empty_and_single(self):
+        for n in (0, 1):
+            s = make_storage("soa", n, store_coords=False)
+            if n:
+                s.set_state(np.array([3]), np.array([0.5]), np.array([0.5]),
+                            np.array([1.0]), np.array([0.0]))
+            out = sort_out_of_place(s, 64)
+            assert out.n == n
+            sort_in_place(s, 64)
+
+    def test_single_particle_simulation(self):
+        grid = GridSpec(8, 8, 0.0, 4 * np.pi, 0.0, 4 * np.pi)
+        sim = Simulation(
+            grid, LandauDamping(alpha=0.0), 1,
+            OptimizationConfig.fully_optimized(), dt=0.1, quiet=True, seed=None,
+        )
+        sim.run(10)
+        # a single particle with a neutralizing background: E ~ self-field
+        assert np.isfinite(sim.history.total_energy).all()
+
+
+class TestExtremeMotion:
+    def test_multi_box_crossings_per_step(self, rng):
+        """Particles crossing many periods per step stay consistent —
+        the general case §IV-C insists on handling (contrast with the
+        move-at-most-one-cell tricks the paper rejects)."""
+        o = get_ordering("morton", 16, 16)
+        n = 500
+        s = make_storage("soa", n, store_coords=True)
+        ix = rng.integers(0, 16, n)
+        iy = rng.integers(0, 16, n)
+        s.set_state(o.encode(ix, iy), rng.random(n), rng.random(n),
+                    rng.normal(0, 300, n), rng.normal(0, 300, n), ix, iy)
+        push_positions_bitwise(s, 16, 16, o)
+        assert np.asarray(s.ix).min() >= 0 and np.asarray(s.ix).max() < 16
+        assert np.asarray(s.dx).min() >= 0 and np.asarray(s.dx).max() <= 1.0
+
+    def test_large_dt_remains_stable_numerically(self):
+        """A CFL-violating dt gives bad physics but must not corrupt
+        the data structures (finite values, valid indices)."""
+        grid = GridSpec(16, 16, 0.0, 4 * np.pi, 0.0, 4 * np.pi)
+        st = PICStepper(
+            grid, OptimizationConfig.fully_optimized(),
+            case=LandauDamping(alpha=0.3), n_particles=2000,
+            dt=5.0, quiet=True, seed=None,
+        )
+        st.run(10)
+        assert np.isfinite(np.asarray(st.particles.dx)).all()
+        assert np.isfinite(st.ex_grid).all()
+        icell = np.asarray(st.particles.icell)
+        assert icell.min() >= 0 and icell.max() < st.ordering.ncells_allocated
+
+    def test_zero_dt_freezes_positions(self):
+        grid = GridSpec(16, 16, 0.0, 4 * np.pi, 0.0, 4 * np.pi)
+        st = PICStepper(
+            grid, OptimizationConfig.fully_optimized().with_(hoisting=False),
+            case=LandauDamping(alpha=0.1), n_particles=1000,
+            dt=0.0, quiet=True, seed=None,
+        )
+        before = np.asarray(st.particles.dx).copy()
+        st.run(3)
+        np.testing.assert_array_equal(np.asarray(st.particles.dx), before)
+
+
+class TestConservationUnderStress:
+    @pytest.mark.parametrize("ordering", ["row-major", "morton"])
+    def test_charge_conserved_with_fast_particles(self, rng, ordering):
+        o = get_ordering(ordering, 16, 16)
+        fields_grid = GridSpec(16, 16, 0.0, 4 * np.pi, 0.0, 4 * np.pi)
+        fields = RedundantFields(fields_grid, o)
+        n = 3000
+        s = make_storage("soa", n, store_coords=(ordering != "row-major"))
+        ix = rng.integers(0, 16, n)
+        iy = rng.integers(0, 16, n)
+        if s.store_coords:
+            s.set_state(o.encode(ix, iy), rng.random(n), rng.random(n),
+                        rng.normal(0, 40, n), rng.normal(0, 40, n), ix, iy)
+        else:
+            s.set_state(o.encode(ix, iy), rng.random(n), rng.random(n),
+                        rng.normal(0, 40, n), rng.normal(0, 40, n))
+        for _ in range(5):
+            push_positions_bitwise(s, 16, 16, o)
+            fields.reset_rho()
+            accumulate_redundant(fields.rho_1d, s.icell, s.dx, s.dy, 1.0)
+            assert fields.rho_1d.sum() == pytest.approx(n, rel=1e-12)
+
+    def test_all_particles_in_one_cell(self):
+        """Pathological clustering (every particle in cell 0)."""
+        o = get_ordering("morton", 8, 8)
+        n = 1000
+        rho = np.zeros((o.ncells_allocated, 4))
+        accumulate_redundant(
+            rho, np.zeros(n, dtype=np.int64),
+            np.full(n, 0.25), np.full(n, 0.75), 1.0,
+        )
+        assert rho.sum() == pytest.approx(n)
+        assert np.count_nonzero(rho.sum(axis=1)) == 1
+
+
+class TestSolverRobustness:
+    def test_poisson_with_delta_rho(self, rng):
+        from repro.grid import SpectralPoissonSolver
+
+        g = GridSpec(32, 32, 0.0, 2 * np.pi, 0.0, 2 * np.pi)
+        rho = np.zeros((32, 32))
+        rho[5, 7] = 1000.0
+        phi, ex, ey = SpectralPoissonSolver(g).solve(rho)
+        assert np.isfinite(phi).all() and np.isfinite(ex).all()
+        # the field points away from the positive charge nearby
+        assert ex[6, 7] > 0 and ex[4, 7] < 0
+
+    def test_poisson_extreme_magnitudes(self):
+        from repro.grid import SpectralPoissonSolver
+
+        g = GridSpec(16, 16)
+        rho = np.full((16, 16), 1e12)
+        rho[0, 0] += 1e12
+        phi, *_ = SpectralPoissonSolver(g).solve(rho)
+        assert np.isfinite(phi).all()
+
+
+class TestHybridComposition:
+    def test_mpi_ranks_with_thread_partitioned_deposit(self, rng):
+        """The full hybrid stack composed: each simulated MPI rank
+        deposits through the simulated-OpenMP private-copy reduction,
+        then the ranks allreduce — the total must equal one serial
+        deposit of the union."""
+        from repro.core.kernels import accumulate_redundant as serial_acc
+        from repro.parallel.mpi import SimMPI
+        from repro.parallel.openmp import parallel_accumulate_redundant
+
+        o = get_ordering("morton", 16, 16)
+        n = 4000
+        ix = rng.integers(0, 16, n)
+        iy = rng.integers(0, 16, n)
+        dx = rng.random(n)
+        dy = rng.random(n)
+        icell = o.encode(ix, iy)
+
+        serial = np.zeros((o.ncells_allocated, 4))
+        serial_acc(serial, icell, dx, dy, 0.5)
+
+        nranks, nthreads = 4, 3
+        bounds = np.linspace(0, n, nranks + 1).astype(int)
+
+        def rank_fn(comm):
+            sl = slice(bounds[comm.rank], bounds[comm.rank + 1])
+            local = np.zeros((o.ncells_allocated, 4))
+            parallel_accumulate_redundant(
+                local, icell[sl], dx[sl], dy[sl], 0.5, nthreads
+            )
+            return comm.allreduce(local)
+
+        results = SimMPI(nranks).run(rank_fn)
+        for r in results:
+            np.testing.assert_allclose(r, serial, atol=1e-12)

@@ -1,0 +1,91 @@
+"""Tests for the terminal visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import bar_chart, density_raster, log_series_plot
+
+
+class TestLogSeriesPlot:
+    def test_dimensions(self):
+        out = log_series_plot(np.exp(-0.1 * np.arange(100)), width=40, height=8)
+        lines = out.splitlines()
+        assert len(lines) == 9  # 8 rows + axis
+        assert all(len(l) == 43 for l in lines[:-1])  # "  |" + 40
+
+    def test_label_header(self):
+        out = log_series_plot([1.0, 10.0], label="energy")
+        assert out.splitlines()[0].lstrip().startswith("energy")
+
+    def test_decaying_series_slopes_down(self):
+        out = log_series_plot(np.exp(-0.2 * np.arange(64)), width=64, height=10)
+        rows = out.splitlines()
+        first_star_col = rows_index = None
+        # the star in the first column must be in a higher row than the
+        # star in the last column
+        grid = [list(l[3:]) for l in rows if l.startswith("  |")]
+        col0 = [i for i, r in enumerate(grid) if r[0] == "*"]
+        colN = [i for i, r in enumerate(grid) if r[-1] == "*"]
+        assert col0[0] < colN[0]
+
+    def test_handles_zeros(self):
+        out = log_series_plot([0.0, 1.0, 0.0, 10.0])
+        assert "*" in out
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            log_series_plot([])
+
+    def test_one_star_per_column(self):
+        out = log_series_plot(np.linspace(1, 100, 50), width=30, height=6)
+        grid = [l[3:] for l in out.splitlines() if l.startswith("  |")]
+        for col in range(30):
+            assert sum(1 for row in grid if row[col] == "*") == 1
+
+
+class TestDensityRaster:
+    def test_shape(self):
+        out = density_raster(np.random.default_rng(0).random((20, 10)))
+        lines = out.splitlines()
+        assert len(lines) == 11  # 10 rows + axis
+        assert all(len(l) == 23 for l in lines[:-1])
+
+    def test_empty_histogram_renders_blank(self):
+        out = density_raster(np.zeros((5, 3)))
+        assert set("".join(out.splitlines()[:-1])) <= {" ", "|"}
+
+    def test_peak_is_darkest(self):
+        h = np.zeros((8, 4))
+        h[3, 2] = 10.0
+        out = density_raster(h, flip_vertical=False)
+        row = out.splitlines()[2]
+        assert row[3 + 3] == "@"
+
+    def test_vertical_flip(self):
+        h = np.zeros((4, 3))
+        h[0, 0] = 5.0  # bottom-left in flipped rendering
+        flipped = density_raster(h, flip_vertical=True).splitlines()
+        unflipped = density_raster(h, flip_vertical=False).splitlines()
+        assert "@" in flipped[2] and "@" in unflipped[0]
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        out = bar_chart({"a": 10.0, "b": 5.0}, width=20)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_zero_value_empty_bar(self):
+        out = bar_chart({"x": 0.0, "y": 2.0})
+        assert out.splitlines()[0].count("#") == 0
+
+    def test_unit_suffix(self):
+        out = bar_chart({"bw": 12.5}, unit=" GB/s")
+        assert "12.5 GB/s" in out
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
