@@ -2,13 +2,19 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples results clean
+.PHONY: install test bench examples results clean docs-check check
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+docs-check:
+	$(PYTHON) tools/check_links.py
+
+check: docs-check
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -71,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print diagnostics every N steps")
     run.add_argument("--checkpoint", type=str, default=None,
                      help="write a checkpoint here after the run")
+    run.add_argument("--backend", choices=("auto", "numpy", "numba"),
+                     default="auto",
+                     help="kernel execution backend (default: auto-select)")
+    run.add_argument("--timings-json", type=str, default=None, metavar="PATH",
+                     help="write per-phase wall-clock timings (cumulative "
+                     "and per-step) to this JSON file")
 
     om = sub.add_parser("orderings", help="print an ordering's index map")
     om.add_argument("--ordering", choices=_ORDERINGS, default="morton")
@@ -109,6 +115,7 @@ def _cmd_run(args) -> int:
     cfg = OptimizationConfig.fully_optimized(args.ordering)
     if args.ordering == "hilbert":
         cfg = cfg.with_(position_update="modulo")
+    cfg = cfg.with_(backend=args.backend)
     quiet = args.seed is None
     sim = Simulation(
         grid, case, args.particles, cfg, dt=args.dt,
@@ -116,6 +123,7 @@ def _cmd_run(args) -> int:
     )
     print(f"case={args.case} grid={ncx}x{ncy} particles={args.particles} "
           f"ordering={args.ordering} dt={args.dt} "
+          f"backend={sim.stepper.backend.name} "
           f"start={'quiet' if quiet else f'seed {args.seed}'}")
     sim.run(args.steps)
     h = sim.history.as_arrays()
@@ -125,8 +133,18 @@ def _cmd_run(args) -> int:
               f"{h['kinetic_energy'][i]:13.6e} {h['total_energy'][i]:13.6e}")
     print(f"energy drift: {sim.history.energy_drift():.3e}")
     t = sim.timings
-    print(f"throughput  : {args.particles * t.steps / t.total / 1e6:.2f} "
+    print(f"throughput  : {t.particles_per_second() / 1e6:.2f} "
           "M particle-steps/s")
+    print("phase breakdown (wall-clock):")
+    for phase, secs in t.as_dict().items():
+        pct = 100.0 * secs / t.total if t.total else 0.0
+        print(f"  {phase:11s} {secs:9.4f} s  ({pct:5.1f}%)")
+    if args.timings_json:
+        import pathlib
+
+        path = pathlib.Path(args.timings_json)
+        path.write_text(sim.timings_json(indent=2))
+        print(f"timings     : {path}")
     if args.checkpoint:
         from repro.core.checkpoint import save_checkpoint
 
@@ -215,11 +233,21 @@ def _cmd_misses(args) -> int:
 
 
 def _cmd_info(_args) -> int:
+    from repro.core.backends import (
+        available_backends,
+        known_backend_names,
+        resolve_backend_name,
+    )
     from repro.curves import available_orderings
     from repro.perf.machine import MachineSpec
 
     print("repro — PIC data-structures reproduction (IPDPSW 2017)")
     print("orderings:", ", ".join(available_orderings()))
+    avail = set(available_backends())
+    print("backends :", ", ".join(
+        f"{n}{'' if n in avail else ' (unavailable)'}"
+        for n in known_backend_names()
+    ), f"(auto -> {resolve_backend_name()})")
     for name in ("haswell", "sandybridge"):
         m = getattr(MachineSpec, name)()
         caches = ", ".join(
@@ -232,6 +260,8 @@ def _cmd_info(_args) -> int:
 
 
 def main(argv=None) -> int:
+    from repro.core.backends import BackendUnavailableError
+
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
@@ -241,7 +271,11 @@ def main(argv=None) -> int:
         "misses": _cmd_misses,
         "info": _cmd_info,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BackendUnavailableError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

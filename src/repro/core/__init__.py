@@ -16,6 +16,14 @@ Public entry points:
 """
 
 from repro.core.autotune import SortPeriodAutoTuner, TuneResult, tune_sort_period_model
+from repro.core.backends import (
+    BackendUnavailableError,
+    KernelBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend_name,
+)
 from repro.core.boundaries import (
     compact_particles,
     push_positions_absorbing,
@@ -36,6 +44,12 @@ __all__ = [
     "OptimizationConfig",
     "PICStepper",
     "StepTimings",
+    "KernelBackend",
+    "BackendUnavailableError",
+    "get_backend",
+    "register_backend",
+    "resolve_backend_name",
+    "available_backends",
     "Simulation",
     "SimulationHistory",
     "field_energy",

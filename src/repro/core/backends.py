@@ -1,0 +1,406 @@
+"""Pluggable kernel-execution backends.
+
+The paper's argument is about *how* the three inner loops execute —
+scalar vs vectorized, branchy vs branchless — so the engine exposes the
+execution strategy as a named **backend** rather than hard-wiring one:
+
+* ``"numpy"`` — the whole-array NumPy kernels of
+  :mod:`repro.core.kernels` (the Python rendering of the paper's
+  auto-vectorized C loops).  Always available.
+* ``"numba"`` — ``@njit`` scalar loops mirroring the reference
+  implementations in :mod:`repro.core.reference`, compiled at first
+  use (the Python rendering of the paper's *explicit* per-particle
+  loops).  Soft dependency: only usable when :mod:`numba` is
+  installed (``pip install repro[jit]``); everything else keeps
+  working without it.
+* ``"auto"`` — the selection policy: the highest-priority backend
+  whose dependencies are importable (``numba`` first, then
+  ``numpy``).
+
+Every backend implements the same kernel surface — the 2D accumulate /
+interpolate / update-velocities / push-positions family plus their 3D
+counterparts — and all backends must produce identical physics; the
+cross-backend equivalence suite (``tests/test_backends.py``) checks
+each registered backend against the scalar oracles.
+
+Usage::
+
+    from repro.core.backends import get_backend, available_backends
+
+    backend = get_backend("auto")
+    backend.accumulate_redundant(rho_1d, icell, dx, dy, charge)
+
+The stepper resolves :attr:`OptimizationConfig.backend` through
+:func:`get_backend` once at construction and dispatches every kernel
+call through the resulting object.
+"""
+
+from __future__ import annotations
+
+import abc
+import importlib.util
+
+import numpy as np
+
+from repro.core import kernels as _k
+
+__all__ = [
+    "KernelBackend",
+    "NumpyBackend",
+    "NumbaBackend",
+    "BackendUnavailableError",
+    "register_backend",
+    "get_backend",
+    "resolve_backend_name",
+    "known_backend_names",
+    "available_backends",
+    "AUTO",
+]
+
+#: The name of the auto-selection policy (not itself a backend).
+AUTO = "auto"
+
+
+class BackendUnavailableError(ImportError):
+    """Requested backend exists but its dependencies are not installed."""
+
+
+class KernelBackend(abc.ABC):
+    """One execution strategy for the PIC inner loops.
+
+    Subclasses provide the per-axis position wrap and the four particle
+    kernels (2D and 3D); the position-update *drivers* — which mix the
+    axis math with the Python-side cell-ordering encode/decode — are
+    shared here so every backend agrees on the (icell, ix, iy)
+    bookkeeping.
+    """
+
+    #: Registry key; subclasses must override.
+    name: str = "?"
+    #: ``"auto"`` picks the available backend with the highest priority.
+    priority: int = 0
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether this backend's dependencies are importable."""
+        return True
+
+    # ------------------------------------------------------------------
+    # 2D kernels
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def accumulate_standard(self, rho, ix, iy, dx, dy, charge=1.0) -> None:
+        """CiC scatter onto the point-based ``rho[ncx][ncy]``."""
+
+    @abc.abstractmethod
+    def accumulate_redundant(self, rho_1d, icell, dx, dy, charge=1.0) -> None:
+        """CiC scatter onto the redundant ``rho_1d[ncell][4]``."""
+
+    @abc.abstractmethod
+    def interpolate_standard(self, ex, ey, ix, iy, dx, dy):
+        """Gather ``(ex_p, ey_p)`` from the point-based field arrays."""
+
+    @abc.abstractmethod
+    def interpolate_redundant(self, e_1d, icell, dx, dy):
+        """Gather ``(ex_p, ey_p)`` from the redundant 8-column rows."""
+
+    @abc.abstractmethod
+    def update_velocities(self, vx, vy, ex_p, ey_p, coef_x=1.0, coef_y=1.0) -> None:
+        """``v += coef * E_p`` in place."""
+
+    @abc.abstractmethod
+    def push_axis(self, x, nc, variant):
+        """Wrap one coordinate axis: returns ``(icoord, offset)``.
+
+        ``variant`` is one of ``"branch"`` / ``"modulo"`` / ``"bitwise"``
+        (§IV-C); ``"bitwise"`` requires power-of-two ``nc``.
+        """
+
+    # ------------------------------------------------------------------
+    # 3D kernels
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def accumulate_redundant_3d(self, rho_1d, icell, dx, dy, dz, charge=1.0) -> None:
+        """Trilinear CiC scatter onto the 8-corner redundant rows."""
+
+    @abc.abstractmethod
+    def interpolate_redundant_3d(self, e_1d, icell, dx, dy, dz):
+        """Gather ``(ex, ey, ez)`` from the 24-column redundant rows."""
+
+    # ------------------------------------------------------------------
+    # Shared position-update drivers (axis math per backend, cell
+    # bookkeeping common)
+    # ------------------------------------------------------------------
+    def push_positions(
+        self, particles, ncx, ncy, ordering, variant, scale_x=1.0, scale_y=1.0
+    ) -> None:
+        """Advance 2D positions, wrap, re-derive ``(icell, ix, iy)``.
+
+        Mirrors :func:`repro.core.kernels.push_positions_branch` and
+        friends, with the axis formulation picked by ``variant``.
+        """
+        if particles.store_coords:
+            ix_old, iy_old = particles.ix, particles.iy
+        else:
+            ix_old, iy_old = ordering.decode(particles.icell)
+        x = ix_old + particles.dx + scale_x * particles.vx
+        y = iy_old + particles.dy + scale_y * particles.vy
+        ix, dx_off = self.push_axis(np.asarray(x), ncx, variant)
+        iy, dy_off = self.push_axis(np.asarray(y), ncy, variant)
+        particles.icell[:] = ordering.encode(ix, iy)
+        particles.dx[:] = dx_off
+        particles.dy[:] = dy_off
+        if particles.store_coords:
+            particles.ix[:] = ix
+            particles.iy[:] = iy
+
+    def push_positions_3d(
+        self, particles, shape, ordering, scale=(1.0, 1.0, 1.0), variant="bitwise"
+    ) -> None:
+        """Advance and wrap a 3D particle dict in place.
+
+        Mirrors :func:`repro.pic3d.kernels3d.push_positions_bitwise_3d`
+        (the 3D engine only ships the bitwise §IV-C3 formulation, but
+        any axis variant is accepted).
+        """
+        ncx, ncy, ncz = shape
+        x = particles["ix"] + particles["dx"] + scale[0] * particles["vx"]
+        y = particles["iy"] + particles["dy"] + scale[1] * particles["vy"]
+        z = particles["iz"] + particles["dz"] + scale[2] * particles["vz"]
+        ix, dxo = self.push_axis(np.asarray(x), ncx, variant)
+        iy, dyo = self.push_axis(np.asarray(y), ncy, variant)
+        iz, dzo = self.push_axis(np.asarray(z), ncz, variant)
+        particles["ix"], particles["iy"], particles["iz"] = ix, iy, iz
+        particles["dx"], particles["dy"], particles["dz"] = dxo, dyo, dzo
+        particles["icell"] = ordering.encode(ix, iy, iz)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, type[KernelBackend]] = {}
+_INSTANCES: dict[str, KernelBackend] = {}
+
+
+def register_backend(cls: type[KernelBackend]) -> type[KernelBackend]:
+    """Class decorator: add a :class:`KernelBackend` to the registry.
+
+    Registration is by :attr:`KernelBackend.name`; re-registering a
+    name replaces the previous class (and drops its cached instance),
+    so tests can stub backends in and out.
+    """
+    if not issubclass(cls, KernelBackend):
+        raise TypeError(f"{cls!r} is not a KernelBackend subclass")
+    if cls.name in (AUTO, KernelBackend.name):
+        raise ValueError(f"invalid backend name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    _INSTANCES.pop(cls.name, None)
+    return cls
+
+
+def known_backend_names() -> tuple[str, ...]:
+    """All registered backend names, whether or not importable."""
+    return tuple(_REGISTRY)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backends whose dependencies are importable."""
+    return tuple(n for n, c in _REGISTRY.items() if c.is_available())
+
+
+def resolve_backend_name(name: str = AUTO) -> str:
+    """Apply the auto-selection policy without instantiating.
+
+    ``"auto"`` resolves to the available backend with the highest
+    :attr:`~KernelBackend.priority`; an explicit name resolves to
+    itself (validity is checked by :func:`get_backend`).
+    """
+    if name != AUTO:
+        return name
+    candidates = [(c.priority, n) for n, c in _REGISTRY.items() if c.is_available()]
+    if not candidates:  # pragma: no cover - numpy backend is always available
+        raise BackendUnavailableError("no kernel backend is available")
+    return max(candidates)[1]
+
+
+def get_backend(name: str = AUTO) -> KernelBackend:
+    """Return the (cached) backend instance for ``name``.
+
+    Raises :class:`KeyError` for unknown names and
+    :class:`BackendUnavailableError` for known backends whose
+    dependencies are missing.
+    """
+    name = resolve_backend_name(name)
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown kernel backend {name!r}; known: {known_backend_names()}"
+        )
+    if name not in _INSTANCES:
+        cls = _REGISTRY[name]
+        if not cls.is_available():
+            raise BackendUnavailableError(
+                f"backend {name!r} requires extra dependencies that are not "
+                f"installed (try: pip install repro[jit])"
+            )
+        _INSTANCES[name] = cls()
+    return _INSTANCES[name]
+
+
+# ----------------------------------------------------------------------
+# NumPy backend: delegate to the whole-array kernels
+# ----------------------------------------------------------------------
+@register_backend
+class NumpyBackend(KernelBackend):
+    """Whole-array NumPy kernels — the auto-vectorized rendering."""
+
+    name = "numpy"
+    priority = 10
+
+    accumulate_standard = staticmethod(_k.accumulate_standard)
+    accumulate_redundant = staticmethod(_k.accumulate_redundant)
+    interpolate_standard = staticmethod(_k.interpolate_standard)
+    interpolate_redundant = staticmethod(_k.interpolate_redundant)
+    update_velocities = staticmethod(_k.update_velocities)
+
+    def push_axis(self, x, nc, variant):
+        return _k.AXIS_KERNELS[variant](x, nc)
+
+    # The 3D whole-array kernels live in repro.pic3d, which depends on
+    # repro.core — import them at call time to keep the layering acyclic.
+    def accumulate_redundant_3d(self, rho_1d, icell, dx, dy, dz, charge=1.0):
+        from repro.pic3d.kernels3d import accumulate_redundant_3d
+
+        accumulate_redundant_3d(rho_1d, icell, dx, dy, dz, charge)
+
+    def interpolate_redundant_3d(self, e_1d, icell, dx, dy, dz):
+        from repro.pic3d.kernels3d import interpolate_redundant_3d
+
+        return interpolate_redundant_3d(e_1d, icell, dx, dy, dz)
+
+
+# ----------------------------------------------------------------------
+# Numba backend: JIT-compiled scalar loops
+# ----------------------------------------------------------------------
+@register_backend
+class NumbaBackend(KernelBackend):
+    """``@njit`` scalar loops mirroring :mod:`repro.core.reference`.
+
+    The jitted functions live in :mod:`repro.core.njit_kernels`, which
+    imports :mod:`numba` at module level — so this class only imports
+    it on first instantiation, keeping NumPy-only installs working.
+    """
+
+    name = "numba"
+    priority = 20
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return importlib.util.find_spec("numba") is not None
+
+    def __init__(self):
+        from repro.core import njit_kernels
+
+        self._jit = njit_kernels
+
+    # -- 2D ------------------------------------------------------------
+    def accumulate_standard(self, rho, ix, iy, dx, dy, charge=1.0):
+        self._jit.accumulate_standard_njit(
+            rho,
+            np.ascontiguousarray(ix, dtype=np.int64),
+            np.ascontiguousarray(iy, dtype=np.int64),
+            np.ascontiguousarray(dx, dtype=np.float64),
+            np.ascontiguousarray(dy, dtype=np.float64),
+            float(charge),
+        )
+
+    def accumulate_redundant(self, rho_1d, icell, dx, dy, charge=1.0):
+        self._jit.accumulate_redundant_njit(
+            rho_1d,
+            np.ascontiguousarray(icell, dtype=np.int64),
+            np.ascontiguousarray(dx, dtype=np.float64),
+            np.ascontiguousarray(dy, dtype=np.float64),
+            float(charge),
+        )
+
+    def interpolate_standard(self, ex, ey, ix, iy, dx, dy):
+        n = len(np.asarray(dx))
+        ex_p = np.empty(n, dtype=np.float64)
+        ey_p = np.empty(n, dtype=np.float64)
+        self._jit.interpolate_standard_njit(
+            np.ascontiguousarray(ex, dtype=np.float64),
+            np.ascontiguousarray(ey, dtype=np.float64),
+            np.ascontiguousarray(ix, dtype=np.int64),
+            np.ascontiguousarray(iy, dtype=np.int64),
+            np.ascontiguousarray(dx, dtype=np.float64),
+            np.ascontiguousarray(dy, dtype=np.float64),
+            ex_p,
+            ey_p,
+        )
+        return ex_p, ey_p
+
+    def interpolate_redundant(self, e_1d, icell, dx, dy):
+        n = len(np.asarray(icell))
+        ex_p = np.empty(n, dtype=np.float64)
+        ey_p = np.empty(n, dtype=np.float64)
+        self._jit.interpolate_redundant_njit(
+            np.ascontiguousarray(e_1d, dtype=np.float64),
+            np.ascontiguousarray(icell, dtype=np.int64),
+            np.ascontiguousarray(dx, dtype=np.float64),
+            np.ascontiguousarray(dy, dtype=np.float64),
+            ex_p,
+            ey_p,
+        )
+        return ex_p, ey_p
+
+    def update_velocities(self, vx, vy, ex_p, ey_p, coef_x=1.0, coef_y=1.0):
+        self._jit.update_velocities_njit(vx, ex_p, float(coef_x))
+        self._jit.update_velocities_njit(vy, ey_p, float(coef_y))
+
+    def push_axis(self, x, nc, variant):
+        x = np.ascontiguousarray(x, dtype=np.float64)
+        i_out = np.empty(x.size, dtype=np.int64)
+        d_out = np.empty(x.size, dtype=np.float64)
+        if variant == "bitwise":
+            if nc & (nc - 1):
+                raise ValueError(
+                    f"bitwise wrap requires power-of-two extent, got {nc}"
+                )
+            self._jit.axis_bitwise_njit(x, nc, i_out, d_out)
+        elif variant == "modulo":
+            self._jit.axis_modulo_njit(x, nc, i_out, d_out)
+        elif variant == "branch":
+            self._jit.axis_branch_njit(x, nc, i_out, d_out)
+        else:
+            raise KeyError(f"unknown position-update variant {variant!r}")
+        return i_out, d_out
+
+    # -- 3D ------------------------------------------------------------
+    def accumulate_redundant_3d(self, rho_1d, icell, dx, dy, dz, charge=1.0):
+        self._jit.accumulate_redundant_3d_njit(
+            rho_1d,
+            np.ascontiguousarray(icell, dtype=np.int64),
+            np.ascontiguousarray(dx, dtype=np.float64),
+            np.ascontiguousarray(dy, dtype=np.float64),
+            np.ascontiguousarray(dz, dtype=np.float64),
+            float(charge),
+        )
+
+    def interpolate_redundant_3d(self, e_1d, icell, dx, dy, dz):
+        n = len(np.asarray(icell))
+        ex = np.empty(n, dtype=np.float64)
+        ey = np.empty(n, dtype=np.float64)
+        ez = np.empty(n, dtype=np.float64)
+        self._jit.interpolate_redundant_3d_njit(
+            np.ascontiguousarray(e_1d, dtype=np.float64),
+            np.ascontiguousarray(icell, dtype=np.int64),
+            np.ascontiguousarray(dx, dtype=np.float64),
+            np.ascontiguousarray(dy, dtype=np.float64),
+            np.ascontiguousarray(dz, dtype=np.float64),
+            ex,
+            ey,
+            ez,
+        )
+        return ex, ey, ez

@@ -124,9 +124,9 @@ def load_checkpoint(path, config: OptimizationConfig | None = None) -> PICSteppe
 
 def _reconstruct(stepper, grid, config, particles, meta, data) -> None:
     """Fill a blank PICStepper with checkpointed state (no re-init)."""
-    from repro.core.kernels import POSITION_UPDATE_KERNELS
-    from repro.core.stepper import StepTimings
+    from repro.core.backends import get_backend
     from repro.curves.base import get_ordering
+    from repro.perf.instrument import Instrumentation
     from repro.grid.fields import RedundantFields, StandardFields
     from repro.grid.poisson import SpectralPoissonSolver
 
@@ -146,8 +146,9 @@ def _reconstruct(stepper, grid, config, particles, meta, data) -> None:
     stepper.solver = SpectralPoissonSolver(grid, stepper.eps0)
     stepper.particles = particles
     stepper._sort_buffer = None
-    stepper._push = POSITION_UPDATE_KERNELS[config.position_update]
-    stepper.timings = StepTimings()
+    stepper.backend = get_backend(config.backend)
+    stepper.instrumentation = Instrumentation()
+    stepper.timings = stepper.instrumentation.timings
     stepper.iteration = int(meta["iteration"])
     stepper.ex_grid = np.array(data["ex_grid"])
     stepper.ey_grid = np.array(data["ey_grid"])

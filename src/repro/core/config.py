@@ -61,6 +61,12 @@ class OptimizationConfig:
     chunk_size:
         Particles per chunk in fused mode (models the single loop's
         working set).
+    backend:
+        Kernel execution backend: ``"numpy"`` (whole-array kernels),
+        ``"numba"`` (JIT-compiled scalar loops; requires the ``jit``
+        extra), or ``"auto"`` (default) — the highest-priority backend
+        whose dependencies are installed.  All backends produce
+        identical physics; see :mod:`repro.core.backends`.
     """
 
     field_layout: str = "redundant"
@@ -74,6 +80,7 @@ class OptimizationConfig:
     sort_variant: str = "out-of-place"
     store_coords: bool | None = None
     chunk_size: int = 8192
+    backend: str = "auto"
 
     def __post_init__(self):
         if self.field_layout not in _FIELD_LAYOUTS:
@@ -90,6 +97,12 @@ class OptimizationConfig:
             raise ValueError("sort_period must be >= 0")
         if self.chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
+        # deferred import: backends depends on kernels, not on config
+        from repro.core.backends import AUTO, known_backend_names
+
+        valid = (AUTO, *known_backend_names())
+        if self.backend not in valid:
+            raise ValueError(f"backend must be one of {valid}")
 
     # ------------------------------------------------------------------
     @property
@@ -98,6 +111,13 @@ class OptimizationConfig:
         if self.store_coords is not None:
             return self.store_coords
         return self.ordering not in ("row-major", "column-major")
+
+    @property
+    def resolved_backend(self) -> str:
+        """The backend name ``"auto"`` selects on this machine."""
+        from repro.core.backends import resolve_backend_name
+
+        return resolve_backend_name(self.backend)
 
     def with_(self, **changes) -> "OptimizationConfig":
         """Functional update (``dataclasses.replace`` wrapper)."""

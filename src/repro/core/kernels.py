@@ -26,6 +26,7 @@ __all__ = [
     "push_positions_modulo",
     "push_positions_bitwise",
     "POSITION_UPDATE_KERNELS",
+    "AXIS_KERNELS",
 ]
 
 
@@ -219,4 +220,13 @@ POSITION_UPDATE_KERNELS = {
     "branch": push_positions_branch,
     "modulo": push_positions_modulo,
     "bitwise": push_positions_bitwise,
+}
+
+#: Per-axis wrap kernels, keyed the same way — the building blocks the
+#: backend layer (:mod:`repro.core.backends`) composes with the shared
+#: push driver, so every backend agrees on the cell bookkeeping.
+AXIS_KERNELS = {
+    "branch": _axis_branch,
+    "modulo": _axis_modulo,
+    "bitwise": _axis_bitwise,
 }

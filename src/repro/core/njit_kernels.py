@@ -1,0 +1,206 @@
+"""Numba ``@njit`` scalar-loop kernels for the ``"numba"`` backend.
+
+This module imports :mod:`numba` at import time and is therefore only
+imported by :class:`repro.core.backends.NumbaBackend` when that backend
+is actually requested; NumPy-only installs never touch it.
+
+Each function is the explicit per-particle loop the paper's C code
+runs, written to match :mod:`repro.core.reference` arithmetic exactly
+(same corner order, same wrap formulations) so the cross-backend
+equivalence suite can hold every backend to the same oracle:
+
+* gathers (interpolate) and per-axis position wraps are embarrassingly
+  parallel and use ``prange``;
+* scatters (accumulate) race on the target array, so they run as plain
+  serial loops — exactly the paper's single-thread inner loop; thread
+  parallelism in the paper comes from private copies at a higher level
+  (see :mod:`repro.parallel.openmp`), not from the scatter itself.
+
+All kernels write into caller-allocated output arrays (the backend
+wrapper owns allocation and dtype normalization).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit, prange
+
+__all__ = [
+    "accumulate_standard_njit",
+    "accumulate_redundant_njit",
+    "interpolate_standard_njit",
+    "interpolate_redundant_njit",
+    "update_velocities_njit",
+    "axis_branch_njit",
+    "axis_modulo_njit",
+    "axis_bitwise_njit",
+    "accumulate_redundant_3d_njit",
+    "interpolate_redundant_3d_njit",
+]
+
+# `cache=True` persists compiled machine code next to the source so the
+# JIT cost is paid once per machine, not once per process.
+_JIT = {"cache": True, "fastmath": False}
+
+
+# ----------------------------------------------------------------------
+# 2D accumulate (Fig. 2, both variants) — serial scatter
+# ----------------------------------------------------------------------
+@njit(**_JIT)
+def accumulate_standard_njit(rho, ix, iy, dx, dy, charge):
+    ncx, ncy = rho.shape
+    for p in range(ix.size):
+        i = ix[p]
+        j = iy[p]
+        fx = dx[p]
+        fy = dy[p]
+        ip = (i + 1) % ncx
+        jp = (j + 1) % ncy
+        rho[i, j] += charge * (1.0 - fx) * (1.0 - fy)
+        rho[i, jp] += charge * (1.0 - fx) * fy
+        rho[ip, j] += charge * fx * (1.0 - fy)
+        rho[ip, jp] += charge * fx * fy
+
+
+@njit(**_JIT)
+def accumulate_redundant_njit(rho_1d, icell, dx, dy, charge):
+    for p in range(icell.size):
+        c = icell[p]
+        fx = dx[p]
+        fy = dy[p]
+        rho_1d[c, 0] += charge * (1.0 - fx) * (1.0 - fy)
+        rho_1d[c, 1] += charge * (1.0 - fx) * fy
+        rho_1d[c, 2] += charge * fx * (1.0 - fy)
+        rho_1d[c, 3] += charge * fx * fy
+
+
+# ----------------------------------------------------------------------
+# 2D interpolate — parallel gather
+# ----------------------------------------------------------------------
+@njit(parallel=True, **_JIT)
+def interpolate_standard_njit(ex, ey, ix, iy, dx, dy, ex_p, ey_p):
+    ncx, ncy = ex.shape
+    for p in prange(ix.size):
+        i = ix[p]
+        j = iy[p]
+        fx = dx[p]
+        fy = dy[p]
+        ip = (i + 1) % ncx
+        jp = (j + 1) % ncy
+        w00 = (1.0 - fx) * (1.0 - fy)
+        w01 = (1.0 - fx) * fy
+        w10 = fx * (1.0 - fy)
+        w11 = fx * fy
+        ex_p[p] = w00 * ex[i, j] + w01 * ex[i, jp] + w10 * ex[ip, j] + w11 * ex[ip, jp]
+        ey_p[p] = w00 * ey[i, j] + w01 * ey[i, jp] + w10 * ey[ip, j] + w11 * ey[ip, jp]
+
+
+@njit(parallel=True, **_JIT)
+def interpolate_redundant_njit(e_1d, icell, dx, dy, ex_p, ey_p):
+    for p in prange(icell.size):
+        c = icell[p]
+        fx = dx[p]
+        fy = dy[p]
+        w00 = (1.0 - fx) * (1.0 - fy)
+        w01 = (1.0 - fx) * fy
+        w10 = fx * (1.0 - fy)
+        w11 = fx * fy
+        ex_p[p] = (
+            w00 * e_1d[c, 0] + w01 * e_1d[c, 1] + w10 * e_1d[c, 2] + w11 * e_1d[c, 3]
+        )
+        ey_p[p] = (
+            w00 * e_1d[c, 4] + w01 * e_1d[c, 5] + w10 * e_1d[c, 6] + w11 * e_1d[c, 7]
+        )
+
+
+# ----------------------------------------------------------------------
+# Velocity update (Fig. 1 line 9) — parallel fused add
+# ----------------------------------------------------------------------
+@njit(parallel=True, **_JIT)
+def update_velocities_njit(v, e_p, coef):
+    if coef == 1.0:
+        for p in prange(v.size):
+            v[p] += e_p[p]
+    else:
+        for p in prange(v.size):
+            v[p] += coef * e_p[p]
+
+
+# ----------------------------------------------------------------------
+# Per-axis position wraps (§IV-C) — parallel
+# ----------------------------------------------------------------------
+@njit(parallel=True, **_JIT)
+def axis_branch_njit(x, nc, i_out, d_out):
+    for p in prange(x.size):
+        xv = x[p]
+        if xv < 0.0 or xv >= nc:
+            xv = xv % nc
+        fx = np.floor(xv)
+        i = np.int64(fx)
+        if i == nc:  # float modulo can round up to exactly nc
+            i = 0
+            fx = 0.0
+            xv = 0.0
+        i_out[p] = i
+        d_out[p] = xv - fx
+
+
+@njit(parallel=True, **_JIT)
+def axis_modulo_njit(x, nc, i_out, d_out):
+    for p in prange(x.size):
+        fx = np.floor(x[p])
+        i_out[p] = np.int64(fx) % nc
+        d_out[p] = x[p] - fx
+
+
+@njit(parallel=True, **_JIT)
+def axis_bitwise_njit(x, nc, i_out, d_out):
+    mask = nc - 1
+    for p in prange(x.size):
+        xv = x[p]
+        fx = np.int64(xv)  # cast truncates toward zero
+        if xv < 0.0:
+            fx -= 1
+        i_out[p] = fx & mask
+        d_out[p] = xv - fx
+
+
+# ----------------------------------------------------------------------
+# 3D kernels — trilinear 8-corner forms
+# ----------------------------------------------------------------------
+@njit(**_JIT)
+def accumulate_redundant_3d_njit(rho_1d, icell, dx, dy, dz, charge):
+    for p in range(icell.size):
+        c = icell[p]
+        fx = dx[p]
+        fy = dy[p]
+        fz = dz[p]
+        # corner bits (b2 b1 b0) = (x y z); bit set -> factor d, else 1-d
+        for corner in range(8):
+            wx = fx if corner & 4 else 1.0 - fx
+            wy = fy if corner & 2 else 1.0 - fy
+            wz = fz if corner & 1 else 1.0 - fz
+            rho_1d[c, corner] += charge * wx * wy * wz
+
+
+@njit(parallel=True, **_JIT)
+def interpolate_redundant_3d_njit(e_1d, icell, dx, dy, dz, ex, ey, ez):
+    for p in prange(icell.size):
+        c = icell[p]
+        fx = dx[p]
+        fy = dy[p]
+        fz = dz[p]
+        sx = 0.0
+        sy = 0.0
+        sz = 0.0
+        for corner in range(8):
+            wx = fx if corner & 4 else 1.0 - fx
+            wy = fy if corner & 2 else 1.0 - fy
+            wz = fz if corner & 1 else 1.0 - fz
+            w = wx * wy * wz
+            sx += w * e_1d[c, corner]
+            sy += w * e_1d[c, 8 + corner]
+            sz += w * e_1d[c, 16 + corner]
+        ex[p] = sx
+        ey[p] = sy
+        ez[p] = sz

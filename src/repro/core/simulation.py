@@ -22,12 +22,19 @@ __all__ = ["Simulation", "SimulationHistory"]
 
 @dataclass
 class SimulationHistory:
-    """Per-step diagnostic series (index 0 is the initial state)."""
+    """Per-step diagnostic series (index 0 is the initial state).
+
+    ``step_timings`` holds one wall-clock record per *completed* step
+    (so it has one entry fewer than the diagnostic series, which
+    include the initial state): the per-phase seconds and particle
+    count measured by :class:`repro.perf.instrument.Instrumentation`.
+    """
 
     times: list[float] = field(default_factory=list)
     field_energy: list[float] = field(default_factory=list)
     kinetic_energy: list[float] = field(default_factory=list)
     mode_amplitude: list[float] = field(default_factory=list)
+    step_timings: list[dict] = field(default_factory=list)
 
     @property
     def total_energy(self) -> np.ndarray:
@@ -101,6 +108,9 @@ class Simulation:
         self.history.mode_amplitude.append(
             mode_amplitude(st.rho_grid, self.mode_x, self.mode_y)
         )
+        last = st.instrumentation.last_step
+        if last is not None and len(self.history.step_timings) < st.timings.steps:
+            self.history.step_timings.append(last)
 
     def run(self, n_steps: int) -> SimulationHistory:
         """Advance ``n_steps``, recording diagnostics after each step."""
@@ -121,3 +131,11 @@ class Simulation:
     @property
     def timings(self):
         return self.stepper.timings
+
+    @property
+    def instrumentation(self):
+        return self.stepper.instrumentation
+
+    def timings_json(self, **dumps_kwargs) -> str:
+        """Cumulative + per-step wall-clock timings as a JSON string."""
+        return self.stepper.instrumentation.to_json(**dumps_kwargs)

@@ -24,20 +24,10 @@ hoisting, velocities are physical and the loops carry the multiplies.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-
 import numpy as np
 
+from repro.core.backends import KernelBackend, get_backend
 from repro.core.config import OptimizationConfig
-from repro.core.kernels import (
-    POSITION_UPDATE_KERNELS,
-    accumulate_redundant,
-    accumulate_standard,
-    interpolate_redundant,
-    interpolate_standard,
-    update_velocities,
-)
 from repro.curves.base import get_ordering
 from repro.grid.fields import RedundantFields, StandardFields
 from repro.grid.poisson import PoissonSolver, SpectralPoissonSolver
@@ -45,39 +35,9 @@ from repro.grid.spec import GridSpec
 from repro.particles.initializers import InitialCondition, load_particles
 from repro.particles.sorting import sort_in_place, sort_out_of_place
 from repro.particles.storage import ParticleStorage
+from repro.perf.instrument import Instrumentation, StepTimings
 
 __all__ = ["PICStepper", "StepTimings"]
-
-
-@dataclass
-class StepTimings:
-    """Wall-clock seconds spent in each phase, accumulated over steps.
-
-    These are *measured* times of the numpy kernels (used by the
-    wall-clock benchmarks); the paper-shaped machine timings come from
-    :mod:`repro.perf.costmodel` instead.
-    """
-
-    update_v: float = 0.0
-    update_x: float = 0.0
-    accumulate: float = 0.0
-    sort: float = 0.0
-    solve: float = 0.0
-    steps: int = 0
-
-    @property
-    def total(self) -> float:
-        return self.update_v + self.update_x + self.accumulate + self.sort + self.solve
-
-    def as_dict(self) -> dict[str, float]:
-        return {
-            "update_v": self.update_v,
-            "update_x": self.update_x,
-            "accumulate": self.accumulate,
-            "sort": self.sort,
-            "solve": self.solve,
-            "total": self.total,
-        }
 
 
 class PICStepper:
@@ -164,8 +124,11 @@ class PICStepper:
             )
         #: double buffer for the out-of-place sort (allocated lazily)
         self._sort_buffer: ParticleStorage | None = None
-        self._push = POSITION_UPDATE_KERNELS[config.position_update]
-        self.timings = StepTimings()
+        #: resolved kernel-execution backend (config.backend, "auto" applied)
+        self.backend: KernelBackend = get_backend(config.backend)
+        #: per-phase wall-clock recorder; `.timings` is its cumulative view
+        self.instrumentation = Instrumentation()
+        self.timings: StepTimings = self.instrumentation.timings
         self.iteration = 0
         #: physical (Ex, Ey) at grid points from the latest solve
         self.ex_grid = np.zeros((grid.ncx, grid.ncy))
@@ -228,7 +191,7 @@ class PICStepper:
         # half-kick backwards so v sits at -dt/2 while x sits at 0
         ex_p, ey_p = self._interpolate()
         cvx, cvy = self._update_v_coef()
-        update_velocities(
+        self.backend.update_velocities(
             self.particles.vx, self.particles.vy, ex_p, ey_p, -0.5 * cvx, -0.5 * cvy
         )
 
@@ -239,12 +202,14 @@ class PICStepper:
         """Field at particles, in *stored* units (scaled when hoisted)."""
         p = self.particles
         if self.fields.layout == "redundant":
-            return interpolate_redundant(self.fields.e_1d, p.icell, p.dx, p.dy)
+            return self.backend.interpolate_redundant(
+                self.fields.e_1d, p.icell, p.dx, p.dy
+            )
         if p.store_coords:
             ix, iy = p.ix, p.iy
         else:
             ix, iy = self.ordering.decode(p.icell)
-        return interpolate_standard(
+        return self.backend.interpolate_standard(
             self.fields.ex, self.fields.ey, ix, iy, p.dx, p.dy
         )
 
@@ -259,12 +224,12 @@ class PICStepper:
         if sl is None:
             ex_p, ey_p = self._interpolate()
             cvx, cvy = self._update_v_coef()
-            update_velocities(p.vx, p.vy, ex_p, ey_p, cvx, cvy)
+            self.backend.update_velocities(p.vx, p.vy, ex_p, ey_p, cvx, cvy)
             return
         # fused mode: operate on a chunk view
         chunk = _ChunkView(p, sl)
         if self.fields.layout == "redundant":
-            ex_p, ey_p = interpolate_redundant(
+            ex_p, ey_p = self.backend.interpolate_redundant(
                 self.fields.e_1d, chunk.icell, chunk.dx, chunk.dy
             )
         else:
@@ -272,11 +237,11 @@ class PICStepper:
                 ix, iy = chunk.ix, chunk.iy
             else:
                 ix, iy = self.ordering.decode(chunk.icell)
-            ex_p, ey_p = interpolate_standard(
+            ex_p, ey_p = self.backend.interpolate_standard(
                 self.fields.ex, self.fields.ey, ix, iy, chunk.dx, chunk.dy
             )
         cvx, cvy = self._update_v_coef()
-        update_velocities(chunk.vx, chunk.vy, ex_p, ey_p, cvx, cvy)
+        self.backend.update_velocities(chunk.vx, chunk.vy, ex_p, ey_p, cvx, cvy)
 
     def _phase_update_x(self, sl: slice | None = None) -> None:
         g = self.grid
@@ -285,12 +250,14 @@ class PICStepper:
             sx = sy = 1.0
         else:
             sx, sy = self.dt / g.dx, self.dt / g.dy
-        self._push(target, g.ncx, g.ncy, self.ordering, sx, sy)
+        self.backend.push_positions(
+            target, g.ncx, g.ncy, self.ordering, self.config.position_update, sx, sy
+        )
 
     def _phase_accumulate(self, sl: slice | None = None) -> None:
         p = self.particles if sl is None else _ChunkView(self.particles, sl)
         if self.fields.layout == "redundant":
-            accumulate_redundant(
+            self.backend.accumulate_redundant(
                 self.fields.rho_1d, p.icell, p.dx, p.dy, self._charge_factor
             )
         else:
@@ -298,7 +265,7 @@ class PICStepper:
                 ix, iy = p.ix, p.iy
             else:
                 ix, iy = self.ordering.decode(p.icell)
-            accumulate_standard(
+            self.backend.accumulate_standard(
                 self.fields.rho, ix, iy, p.dx, p.dy, self._charge_factor
             )
 
@@ -336,42 +303,38 @@ class PICStepper:
     def step(self) -> None:
         """One iteration of Fig. 1's main loop (lines 4–13)."""
         cfg = self.config
-        t0 = time.perf_counter()
-        if cfg.sort_period and self.iteration % cfg.sort_period == 0 and self.iteration:
-            self._phase_sort()
-        t1 = time.perf_counter()
-        self.timings.sort += t1 - t0
+        instr = self.instrumentation
+        with instr.step(self.particles.n):
+            with instr.phase("sort"):
+                if (
+                    cfg.sort_period
+                    and self.iteration % cfg.sort_period == 0
+                    and self.iteration
+                ):
+                    self._phase_sort()
 
-        self.fields.reset_rho()
-        if cfg.loop_mode == "split":
-            t = time.perf_counter()
-            self._phase_update_v()
-            self.timings.update_v += time.perf_counter() - t
-            t = time.perf_counter()
-            self._phase_update_x()
-            self.timings.update_x += time.perf_counter() - t
-            t = time.perf_counter()
-            self._phase_accumulate()
-            self.timings.accumulate += time.perf_counter() - t
-        else:
-            n = self.particles.n
-            size = cfg.chunk_size
-            for lo in range(0, n, size):
-                sl = slice(lo, min(lo + size, n))
-                t = time.perf_counter()
-                self._phase_update_v(sl)
-                self.timings.update_v += time.perf_counter() - t
-                t = time.perf_counter()
-                self._phase_update_x(sl)
-                self.timings.update_x += time.perf_counter() - t
-                t = time.perf_counter()
-                self._phase_accumulate(sl)
-                self.timings.accumulate += time.perf_counter() - t
+            self.fields.reset_rho()
+            if cfg.loop_mode == "split":
+                with instr.phase("update_v"):
+                    self._phase_update_v()
+                with instr.phase("update_x"):
+                    self._phase_update_x()
+                with instr.phase("accumulate"):
+                    self._phase_accumulate()
+            else:
+                n = self.particles.n
+                size = cfg.chunk_size
+                for lo in range(0, n, size):
+                    sl = slice(lo, min(lo + size, n))
+                    with instr.phase("update_v"):
+                        self._phase_update_v(sl)
+                    with instr.phase("update_x"):
+                        self._phase_update_x(sl)
+                    with instr.phase("accumulate"):
+                        self._phase_accumulate(sl)
 
-        t = time.perf_counter()
-        self._solve_fields()
-        self.timings.solve += time.perf_counter() - t
-        self.timings.steps += 1
+            with instr.phase("solve"):
+                self._solve_fields()
         self.iteration += 1
 
     def run(self, n_steps: int) -> None:

@@ -17,8 +17,12 @@ package reproduces those observables on explicit models:
   cache simulator.
 * :mod:`~repro.perf.bandwidth` — STREAM-triad-calibrated
   channel-saturation bandwidth curve and roofline helpers.
+* :mod:`~repro.perf.instrument` — the one *real* clock in the package:
+  per-phase wall-clock instrumentation the steppers drive, for
+  backend comparisons and throughput reporting on the host machine.
 """
 
+from repro.perf.instrument import Instrumentation, StepTimings
 from repro.perf.machine import CacheLevelSpec, MachineSpec, OpCosts
 from repro.perf.cache import CacheHierarchy, CacheLevel, CacheSimResult
 from repro.perf.trace import (
@@ -42,6 +46,8 @@ from repro.perf.bandwidth import (
 )
 
 __all__ = [
+    "Instrumentation",
+    "StepTimings",
     "CacheLevelSpec",
     "MachineSpec",
     "OpCosts",

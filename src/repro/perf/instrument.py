@@ -1,0 +1,165 @@
+"""Per-step wall-clock instrumentation for the PIC steppers.
+
+The perf package's cache/cost models predict *paper-machine* behaviour;
+this module measures what the Python kernels actually cost on the host,
+so backend comparisons (NumPy vs Numba) and throughput numbers rest on
+real wall-clock data:
+
+* :class:`StepTimings` — cumulative monotonic-clock seconds per kernel
+  phase plus particle-step counters, JSON round-trippable.
+* :class:`Instrumentation` — the recorder the steppers drive: a
+  ``phase(...)`` context manager around each kernel call, per-step
+  records, and derived particles-per-second rates.
+
+The phase set mirrors Fig. 1's main loop: ``sort``, ``update_v``
+(interpolate + velocity kick), ``update_x`` (position push),
+``accumulate`` (charge deposit), ``solve`` (Poisson).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["PHASES", "StepTimings", "Instrumentation"]
+
+#: Kernel phases of one time step, in execution order.
+PHASES = ("sort", "update_v", "update_x", "accumulate", "solve")
+
+
+@dataclass
+class StepTimings:
+    """Wall-clock seconds spent in each phase, accumulated over steps.
+
+    These are *measured* times of the host kernels (used by the
+    wall-clock benchmarks); the paper-shaped machine timings come from
+    :mod:`repro.perf.costmodel` instead.  ``particle_steps`` counts
+    particles advanced (particles x steps), so
+    :meth:`particles_per_second` is a true throughput.
+    """
+
+    update_v: float = 0.0
+    update_x: float = 0.0
+    accumulate: float = 0.0
+    sort: float = 0.0
+    solve: float = 0.0
+    steps: int = 0
+    particle_steps: int = 0
+
+    @property
+    def total(self) -> float:
+        return self.update_v + self.update_x + self.accumulate + self.sort + self.solve
+
+    @property
+    def kernel_total(self) -> float:
+        """Seconds in the three particle loops (excludes sort + solve)."""
+        return self.update_v + self.update_x + self.accumulate
+
+    def particles_per_second(self) -> float:
+        """Particle-steps per wall-clock second over all phases (0 if idle)."""
+        return self.particle_steps / self.total if self.total > 0 else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Per-phase seconds plus the total (the benchmark-facing view)."""
+        return {
+            "update_v": self.update_v,
+            "update_x": self.update_x,
+            "accumulate": self.accumulate,
+            "sort": self.sort,
+            "solve": self.solve,
+            "total": self.total,
+        }
+
+    def as_record(self) -> dict[str, float | int]:
+        """Full serializable state: phases, counters, derived rates."""
+        rec: dict[str, float | int] = self.as_dict()
+        rec["steps"] = self.steps
+        rec["particle_steps"] = self.particle_steps
+        rec["particles_per_second"] = self.particles_per_second()
+        return rec
+
+    def to_json(self, **dumps_kwargs) -> str:
+        """Serialize to a JSON object string (see :meth:`from_json`)."""
+        return json.dumps(self.as_record(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "StepTimings":
+        """Rebuild from :meth:`to_json` output (derived fields ignored)."""
+        rec = json.loads(text)
+        return cls(
+            update_v=rec["update_v"],
+            update_x=rec["update_x"],
+            accumulate=rec["accumulate"],
+            sort=rec["sort"],
+            solve=rec["solve"],
+            steps=int(rec.get("steps", 0)),
+            particle_steps=int(rec.get("particle_steps", 0)),
+        )
+
+
+@dataclass
+class Instrumentation:
+    """Recorder the steppers drive around each kernel phase.
+
+    One :meth:`step` context per time step, one :meth:`phase` context
+    per kernel call inside it (fused loops enter the same phase once
+    per chunk; the chunk times sum into the step's record).  Keeps the
+    cumulative :class:`StepTimings` plus, when ``keep_per_step`` is
+    true, one record per step for time-series inspection.
+    """
+
+    keep_per_step: bool = True
+    timings: StepTimings = field(default_factory=StepTimings)
+    #: one ``{"step": i, "particles": n, "<phase>": seconds...}`` per step
+    per_step: list[dict] = field(default_factory=list)
+
+    def __post_init__(self):
+        self._current: dict | None = None
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def step(self, n_particles: int):
+        """Context for one time step advancing ``n_particles``."""
+        current = {"step": self.timings.steps, "particles": int(n_particles)}
+        current.update({p: 0.0 for p in PHASES})
+        self._current = current
+        try:
+            yield self
+        finally:
+            self._current = None
+            self.timings.steps += 1
+            self.timings.particle_steps += int(n_particles)
+            if self.keep_per_step:
+                self.per_step.append(current)
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time one kernel phase on the monotonic clock."""
+        if name not in PHASES:
+            raise KeyError(f"unknown phase {name!r}; expected one of {PHASES}")
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - t0
+            setattr(self.timings, name, getattr(self.timings, name) + elapsed)
+            if self._current is not None:
+                self._current[name] += elapsed
+
+    # ------------------------------------------------------------------
+    @property
+    def last_step(self) -> dict | None:
+        """The most recent completed per-step record (None before step 1)."""
+        return self.per_step[-1] if self.per_step else None
+
+    def as_record(self) -> dict:
+        """Cumulative timings plus the per-step series, one JSON object."""
+        return {
+            "cumulative": self.timings.as_record(),
+            "per_step": list(self.per_step),
+        }
+
+    def to_json(self, **dumps_kwargs) -> str:
+        return json.dumps(self.as_record(), **dumps_kwargs)

@@ -11,13 +11,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.backends import get_backend
 from repro.particles.initializers import halton_sequence, sample_perturbed_positions
+from repro.perf.instrument import Instrumentation
 from repro.pic3d.grid3d import GridSpec3D, RedundantFields3D
-from repro.pic3d.kernels3d import (
-    accumulate_redundant_3d,
-    interpolate_redundant_3d,
-    push_positions_bitwise_3d,
-)
 from repro.pic3d.ordering3d import Morton3DOrdering, Ordering3D
 from repro.pic3d.poisson3d import SpectralPoissonSolver3D
 
@@ -49,7 +46,12 @@ class LandauDamping3D:
 
 
 class PICStepper3D:
-    """Leap-frog 3d3v Vlasov–Poisson stepper (hoisted units, Morton layout)."""
+    """Leap-frog 3d3v Vlasov–Poisson stepper (hoisted units, Morton layout).
+
+    ``backend`` selects the kernel execution strategy by name
+    (:mod:`repro.core.backends`); per-phase wall-clock timings are
+    recorded on :attr:`instrumentation` exactly as in the 2D stepper.
+    """
 
     def __init__(
         self,
@@ -61,6 +63,7 @@ class PICStepper3D:
         m: float = 1.0,
         ordering: Ordering3D | None = None,
         sort_period: int = 20,
+        backend: str = "auto",
     ):
         if not grid.pow2:
             raise ValueError("the bitwise push requires power-of-two dims")
@@ -72,6 +75,9 @@ class PICStepper3D:
         self.ordering = ordering or Morton3DOrdering(*grid.shape)
         self.fields = RedundantFields3D(grid, self.ordering)
         self.solver = SpectralPoissonSolver3D(grid)
+        self.backend = get_backend(backend)
+        self.instrumentation = Instrumentation()
+        self.timings = self.instrumentation.timings
         self.iteration = 0
 
         x, y, z, vx, vy, vz = case.sample(n_particles, grid)
@@ -93,7 +99,7 @@ class PICStepper3D:
         self._sort()
         self._deposit_and_solve()
         # leap-frog stagger: half kick backwards
-        ex, ey, ez = interpolate_redundant_3d(
+        ex, ey, ez = self.backend.interpolate_redundant_3d(
             self.fields.e_1d, self.particles["icell"],
             self.particles["dx"], self.particles["dy"], self.particles["dz"],
         )
@@ -117,32 +123,51 @@ class PICStepper3D:
         for k in self.particles:
             self.particles[k] = self.particles[k][order]
 
-    def _deposit_and_solve(self) -> None:
+    def _accumulate(self) -> None:
         self.fields.reset_rho()
         p = self.particles
-        accumulate_redundant_3d(
+        self.backend.accumulate_redundant_3d(
             self.fields.rho_1d, p["icell"], p["dx"], p["dy"], p["dz"],
             self._charge_factor,
         )
+
+    def _solve(self) -> None:
         self.rho_grid = self.fields.reduce_rho_to_grid()
         _, ex, ey, ez = self.solver.solve(self.rho_grid)
         self.ex_grid, self.ey_grid, self.ez_grid = ex, ey, ez
         sx, sy, sz = self._field_scales
         self.fields.load_field_from_grid(ex * sx, ey * sy, ez * sz)
 
+    def _deposit_and_solve(self) -> None:
+        self._accumulate()
+        self._solve()
+
     # ------------------------------------------------------------------
     def step(self) -> None:
-        if self.sort_period and self.iteration and self.iteration % self.sort_period == 0:
-            self._sort()
+        instr = self.instrumentation
         p = self.particles
-        ex, ey, ez = interpolate_redundant_3d(
-            self.fields.e_1d, p["icell"], p["dx"], p["dy"], p["dz"]
-        )
-        p["vx"] += ex
-        p["vy"] += ey
-        p["vz"] += ez
-        push_positions_bitwise_3d(p, self.grid.shape, self.ordering)
-        self._deposit_and_solve()
+        with instr.step(len(p["icell"])):
+            with instr.phase("sort"):
+                if (
+                    self.sort_period
+                    and self.iteration
+                    and self.iteration % self.sort_period == 0
+                ):
+                    self._sort()
+                    p = self.particles
+            with instr.phase("update_v"):
+                ex, ey, ez = self.backend.interpolate_redundant_3d(
+                    self.fields.e_1d, p["icell"], p["dx"], p["dy"], p["dz"]
+                )
+                p["vx"] += ex
+                p["vy"] += ey
+                p["vz"] += ez
+            with instr.phase("update_x"):
+                self.backend.push_positions_3d(p, self.grid.shape, self.ordering)
+            with instr.phase("accumulate"):
+                self._accumulate()
+            with instr.phase("solve"):
+                self._solve()
         self.iteration += 1
 
     def run(self, n_steps: int) -> None:

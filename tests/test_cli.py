@@ -118,8 +118,10 @@ class TestRun:
         _, out1 = run_cli(capsys, *argv)
         _, out2 = run_cli(capsys, *argv)
 
-        def physics_lines(text):  # drop the wall-clock throughput line
-            return [l for l in text.splitlines() if "throughput" not in l]
+        def physics_lines(text):  # drop the wall-clock output (throughput
+            # line and per-phase breakdown), which differs run to run
+            lines = text.splitlines()
+            return lines[: lines.index(next(l for l in lines if "throughput" in l))]
 
         assert physics_lines(out1) == physics_lines(out2)
 

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repo links in the Markdown docs.
+
+Scans ``README.md``, ``docs/*.md``, ``DESIGN.md``, ``EXPERIMENTS.md``
+for Markdown links and verifies that
+
+* relative file targets exist in the repository,
+* pure-anchor links (``#section``) match a heading in the same file,
+* anchors on file targets (``page.md#section``) match a heading there.
+
+External links (``http(s)://``, ``mailto:``) are not checked — this is
+the offline, always-runnable half of doc hygiene, wired into
+``make docs-check`` / ``make check``.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per
+broken link).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: files scanned for links (globs relative to the repo root)
+DOC_GLOBS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/*.md")
+
+# [text](target) — non-greedy text, target up to the closing paren;
+# images (![alt](src)) match the same way and are checked identically.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, strip punctuation, dash spaces."""
+    # drop inline code/link markup before slugging
+    heading = re.sub(r"[`*_\[\]]", "", heading)
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    text = path.read_text(encoding="utf-8")
+    text = _CODE_FENCE_RE.sub("", text)
+    return {github_slug(h) for h in _HEADING_RE.findall(text)}
+
+
+def iter_links(path: Path):
+    """Yield (line_number, raw_target) for every Markdown link."""
+    text = path.read_text(encoding="utf-8")
+    # blank out fenced code blocks, preserving line numbers
+    text = _CODE_FENCE_RE.sub(lambda m: re.sub(r"[^\n]", " ", m.group()), text)
+    for i, line in enumerate(text.splitlines(), start=1):
+        for m in _LINK_RE.finditer(line):
+            yield i, m.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    for lineno, target in iter_links(path):
+        where = f"{path.relative_to(REPO)}:{lineno}"
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if not base:  # intra-document anchor
+            if fragment and fragment not in heading_slugs(path):
+                errors.append(f"{where}: no heading for anchor '#{fragment}'")
+            continue
+        dest = (path.parent / base).resolve()
+        if not dest.exists():
+            errors.append(f"{where}: broken link target '{target}'")
+            continue
+        if fragment and dest.suffix == ".md":
+            if fragment not in heading_slugs(dest):
+                errors.append(
+                    f"{where}: '{base}' has no heading for anchor '#{fragment}'"
+                )
+    return errors
+
+
+def main() -> int:
+    files: list[Path] = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(REPO.glob(pattern)))
+    if not files:
+        print("check_links: no documentation files found", file=sys.stderr)
+        return 1
+    errors = []
+    total = 0
+    for path in files:
+        links = list(iter_links(path))
+        total += len(links)
+        errors.extend(check_file(path))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(
+        f"check_links: {len(files)} files, {total} links, "
+        f"{len(errors)} broken"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
