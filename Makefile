@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples results clean docs-check check
+.PHONY: install test bench bench-scaling examples results clean docs-check check
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -18,6 +18,11 @@ check: docs-check
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# quick strong-scaling smoke of the numpy-mp engine (2 workers);
+# the full sweep runs via `pytest benchmarks/bench_shm_scaling.py`
+bench-scaling:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_shm_scaling.py --smoke --workers 2
 
 examples:
 	for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done

@@ -71,9 +71,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print diagnostics every N steps")
     run.add_argument("--checkpoint", type=str, default=None,
                      help="write a checkpoint here after the run")
-    run.add_argument("--backend", choices=("auto", "numpy", "numba"),
+    run.add_argument("--backend", choices=("auto", "numpy", "numba", "numpy-mp"),
                      default="auto",
-                     help="kernel execution backend (default: auto-select)")
+                     help="kernel execution backend (default: auto-select; "
+                     "numpy-mp fans the particle loops out over worker "
+                     "processes)")
+    run.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="worker-process count for --backend numpy-mp "
+                     "(default: cpu count)")
+    run.add_argument("--mp-timeout", type=float, default=None, metavar="SECS",
+                     help="numpy-mp per-task timeout before a worker is "
+                     "restarted and its shard retried serially")
     run.add_argument("--timings-json", type=str, default=None, metavar="PATH",
                      help="write per-phase wall-clock timings (cumulative "
                      "and per-step) to this JSON file")
@@ -116,40 +124,49 @@ def _cmd_run(args) -> int:
     if args.ordering == "hilbert":
         cfg = cfg.with_(position_update="modulo")
     cfg = cfg.with_(backend=args.backend)
+    if args.workers is not None:
+        cfg = cfg.with_(workers=args.workers)
+    if args.mp_timeout is not None:
+        cfg = cfg.with_(mp_task_timeout=args.mp_timeout)
     quiet = args.seed is None
     sim = Simulation(
         grid, case, args.particles, cfg, dt=args.dt,
         quiet=quiet, seed=args.seed,
     )
-    print(f"case={args.case} grid={ncx}x{ncy} particles={args.particles} "
-          f"ordering={args.ordering} dt={args.dt} "
-          f"backend={sim.stepper.backend.name} "
-          f"start={'quiet' if quiet else f'seed {args.seed}'}")
-    sim.run(args.steps)
-    h = sim.history.as_arrays()
-    print(f"{'t':>7s} {'field E':>13s} {'kinetic E':>13s} {'total E':>13s}")
-    for i in range(0, args.steps + 1, max(args.every, 1)):
-        print(f"{h['times'][i]:7.2f} {h['field_energy'][i]:13.6e} "
-              f"{h['kinetic_energy'][i]:13.6e} {h['total_energy'][i]:13.6e}")
-    print(f"energy drift: {sim.history.energy_drift():.3e}")
-    t = sim.timings
-    print(f"throughput  : {t.particles_per_second() / 1e6:.2f} "
-          "M particle-steps/s")
-    print("phase breakdown (wall-clock):")
-    for phase, secs in t.as_dict().items():
-        pct = 100.0 * secs / t.total if t.total else 0.0
-        print(f"  {phase:11s} {secs:9.4f} s  ({pct:5.1f}%)")
-    if args.timings_json:
-        import pathlib
+    try:
+        print(f"case={args.case} grid={ncx}x{ncy} particles={args.particles} "
+              f"ordering={args.ordering} dt={args.dt} "
+              f"backend={sim.stepper.backend.name} "
+              f"start={'quiet' if quiet else f'seed {args.seed}'}")
+        sim.run(args.steps)
+        h = sim.history.as_arrays()
+        print(f"{'t':>7s} {'field E':>13s} {'kinetic E':>13s} {'total E':>13s}")
+        for i in range(0, args.steps + 1, max(args.every, 1)):
+            print(f"{h['times'][i]:7.2f} {h['field_energy'][i]:13.6e} "
+                  f"{h['kinetic_energy'][i]:13.6e} {h['total_energy'][i]:13.6e}")
+        print(f"energy drift: {sim.history.energy_drift():.3e}")
+        t = sim.timings
+        print(f"throughput  : {t.particles_per_second() / 1e6:.2f} "
+              "M particle-steps/s")
+        print("phase breakdown (wall-clock):")
+        for phase, secs in t.as_dict().items():
+            pct = 100.0 * secs / t.total if t.total else 0.0
+            print(f"  {phase:11s} {secs:9.4f} s  ({pct:5.1f}%)")
+        if t.fallbacks:
+            print(f"fallbacks   : {t.fallbacks} worker shard(s) retried serially")
+        if args.timings_json:
+            import pathlib
 
-        path = pathlib.Path(args.timings_json)
-        path.write_text(sim.timings_json(indent=2))
-        print(f"timings     : {path}")
-    if args.checkpoint:
-        from repro.core.checkpoint import save_checkpoint
+            path = pathlib.Path(args.timings_json)
+            path.write_text(sim.timings_json(indent=2))
+            print(f"timings     : {path}")
+        if args.checkpoint:
+            from repro.core.checkpoint import save_checkpoint
 
-        path = save_checkpoint(sim.stepper, args.checkpoint)
-        print(f"checkpoint  : {path}")
+            path = save_checkpoint(sim.stepper, args.checkpoint)
+            print(f"checkpoint  : {path}")
+    finally:
+        sim.close()
     return 0
 
 
@@ -233,6 +250,8 @@ def _cmd_misses(args) -> int:
 
 
 def _cmd_info(_args) -> int:
+    import os
+
     from repro.core.backends import (
         available_backends,
         known_backend_names,
@@ -248,6 +267,10 @@ def _cmd_info(_args) -> int:
         f"{n}{'' if n in avail else ' (unavailable)'}"
         for n in known_backend_names()
     ), f"(auto -> {resolve_backend_name()})")
+    ncpu = os.cpu_count() or 1
+    print(f"cpus     : {ncpu} "
+          f"(numpy-mp {'available' if 'numpy-mp' in avail else 'unavailable'}; "
+          f"default --workers {ncpu})")
     for name in ("haswell", "sandybridge"):
         m = getattr(MachineSpec, name)()
         caches = ", ".join(
@@ -260,8 +283,13 @@ def _cmd_info(_args) -> int:
 
 
 def main(argv=None) -> int:
+    import logging
+
     from repro.core.backends import BackendUnavailableError
 
+    # surface the backend-resolution and numpy-mp engine log lines
+    # (stderr, so stdout stays machine-readable)
+    logging.basicConfig(level=logging.INFO, format="%(name)s: %(message)s")
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
@@ -273,7 +301,7 @@ def main(argv=None) -> int:
     }
     try:
         return handlers[args.command](args)
-    except BackendUnavailableError as exc:
+    except (BackendUnavailableError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

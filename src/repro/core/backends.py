@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import abc
 import importlib.util
+import logging
 
 import numpy as np
 
@@ -59,6 +60,28 @@ __all__ = [
 
 #: The name of the auto-selection policy (not itself a backend).
 AUTO = "auto"
+
+_log = logging.getLogger("repro.backends")
+
+#: Set after the first attempt to import plugin backend modules (the
+#: ``numpy-mp`` engine lives in :mod:`repro.parallel.executor`, which
+#: imports *this* module — loading it lazily from the registry
+#: functions, with the flag set first, keeps the cycle harmless).
+_PLUGINS_LOADED = False
+
+#: Auto resolutions already announced (one log line per resolved name).
+_AUTO_ANNOUNCED: set[str] = set()
+
+
+def _load_plugin_backends() -> None:
+    global _PLUGINS_LOADED
+    if _PLUGINS_LOADED:
+        return
+    _PLUGINS_LOADED = True
+    try:
+        import repro.parallel.executor  # noqa: F401  (registers numpy-mp)
+    except Exception:  # pragma: no cover - plugin must never break core
+        _log.debug("plugin backend load failed", exc_info=True)
 
 
 class BackendUnavailableError(ImportError):
@@ -174,6 +197,19 @@ class KernelBackend(abc.ABC):
         particles["dx"], particles["dy"], particles["dz"] = dxo, dyo, dzo
         particles["icell"] = ordering.encode(ix, iy, iz)
 
+    # ------------------------------------------------------------------
+    # Stepper lifecycle hooks (no-ops for in-process backends)
+    # ------------------------------------------------------------------
+    def prepare_stepper(self, stepper) -> None:
+        """Called once per stepper, after its storage is built and
+        before the first kernel call.  Backends that need per-stepper
+        state (e.g. the ``numpy-mp`` shared-memory engine) may relocate
+        the stepper's arrays here; the default does nothing."""
+
+    def release_stepper(self, stepper) -> None:
+        """Called from ``stepper.close()``: release any per-stepper
+        state acquired in :meth:`prepare_stepper`."""
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} name={self.name!r}>"
 
@@ -203,41 +239,43 @@ def register_backend(cls: type[KernelBackend]) -> type[KernelBackend]:
 
 def known_backend_names() -> tuple[str, ...]:
     """All registered backend names, whether or not importable."""
+    _load_plugin_backends()
     return tuple(_REGISTRY)
 
 
 def available_backends() -> tuple[str, ...]:
     """Registered backends whose dependencies are importable."""
+    _load_plugin_backends()
     return tuple(n for n, c in _REGISTRY.items() if c.is_available())
+
+
+def _auto_candidates() -> list[str]:
+    """Available backend names, best (highest priority) first."""
+    ranked = sorted(
+        ((c.priority, n) for n, c in _REGISTRY.items() if c.is_available()),
+        reverse=True,
+    )
+    if not ranked:  # pragma: no cover - numpy backend is always available
+        raise BackendUnavailableError("no kernel backend is available")
+    return [n for _p, n in ranked]
 
 
 def resolve_backend_name(name: str = AUTO) -> str:
     """Apply the auto-selection policy without instantiating.
 
     ``"auto"`` resolves to the available backend with the highest
-    :attr:`~KernelBackend.priority`; an explicit name resolves to
-    itself (validity is checked by :func:`get_backend`).
+    :attr:`~KernelBackend.priority` — a working ``numba`` install
+    always beats ``numpy``, and ``numpy-mp`` (priority below both) is
+    never auto-picked; an explicit name resolves to itself (validity
+    is checked by :func:`get_backend`).
     """
+    _load_plugin_backends()
     if name != AUTO:
         return name
-    candidates = [(c.priority, n) for n, c in _REGISTRY.items() if c.is_available()]
-    if not candidates:  # pragma: no cover - numpy backend is always available
-        raise BackendUnavailableError("no kernel backend is available")
-    return max(candidates)[1]
+    return _auto_candidates()[0]
 
 
-def get_backend(name: str = AUTO) -> KernelBackend:
-    """Return the (cached) backend instance for ``name``.
-
-    Raises :class:`KeyError` for unknown names and
-    :class:`BackendUnavailableError` for known backends whose
-    dependencies are missing.
-    """
-    name = resolve_backend_name(name)
-    if name not in _REGISTRY:
-        raise KeyError(
-            f"unknown kernel backend {name!r}; known: {known_backend_names()}"
-        )
+def _instantiate(name: str) -> KernelBackend:
     if name not in _INSTANCES:
         cls = _REGISTRY[name]
         if not cls.is_available():
@@ -247,6 +285,47 @@ def get_backend(name: str = AUTO) -> KernelBackend:
             )
         _INSTANCES[name] = cls()
     return _INSTANCES[name]
+
+
+def get_backend(name: str = AUTO) -> KernelBackend:
+    """Return the (cached) backend instance for ``name``.
+
+    Raises :class:`KeyError` for unknown names and
+    :class:`BackendUnavailableError` for known backends whose
+    dependencies are missing.  ``"auto"`` is resilient: if the
+    preferred backend's dependencies pass the availability probe but
+    its construction still fails (e.g. a broken numba install), the
+    next candidate is used instead; either way one log line states the
+    resolved backend.
+    """
+    _load_plugin_backends()
+    if name != AUTO:
+        if name not in _REGISTRY:
+            raise KeyError(
+                f"unknown kernel backend {name!r}; known: {known_backend_names()}"
+            )
+        return _instantiate(name)
+    last_exc: Exception | None = None
+    for candidate in _auto_candidates():
+        try:
+            backend = _instantiate(candidate)
+        except Exception as exc:  # pragma: no cover - needs broken install
+            _log.warning(
+                "backend %r is nominally available but failed to "
+                "initialize (%s); trying the next candidate", candidate, exc,
+            )
+            last_exc = exc
+            continue
+        if candidate not in _AUTO_ANNOUNCED:
+            _AUTO_ANNOUNCED.add(candidate)
+            _log.info(
+                "backend auto-selection resolved to %r (available: %s)",
+                candidate, ", ".join(available_backends()),
+            )
+        return backend
+    raise BackendUnavailableError(  # pragma: no cover - numpy always works
+        "no kernel backend could be initialized"
+    ) from last_exc
 
 
 # ----------------------------------------------------------------------

@@ -64,9 +64,21 @@ class OptimizationConfig:
     backend:
         Kernel execution backend: ``"numpy"`` (whole-array kernels),
         ``"numba"`` (JIT-compiled scalar loops; requires the ``jit``
-        extra), or ``"auto"`` (default) — the highest-priority backend
-        whose dependencies are installed.  All backends produce
-        identical physics; see :mod:`repro.core.backends`.
+        extra), ``"numpy-mp"`` (the shared-memory multiprocessing
+        engine of :mod:`repro.parallel.executor`), or ``"auto"``
+        (default) — the highest-priority backend whose dependencies
+        are installed (never ``numpy-mp``; multiprocessing is opt-in).
+        All backends produce identical physics; see
+        :mod:`repro.core.backends`.
+    workers:
+        Worker-process count for the ``numpy-mp`` backend; ``None``
+        (default) uses ``os.cpu_count()``.  Ignored by the in-process
+        backends.
+    mp_task_timeout:
+        Seconds the ``numpy-mp`` engine waits for a worker's shard
+        before killing and respawning the worker and recomputing the
+        shard serially (surfaced as the ``fallbacks`` counter in the
+        step timings).
     """
 
     field_layout: str = "redundant"
@@ -81,6 +93,8 @@ class OptimizationConfig:
     store_coords: bool | None = None
     chunk_size: int = 8192
     backend: str = "auto"
+    workers: int | None = None
+    mp_task_timeout: float = 60.0
 
     def __post_init__(self):
         if self.field_layout not in _FIELD_LAYOUTS:
@@ -97,6 +111,10 @@ class OptimizationConfig:
             raise ValueError("sort_period must be >= 0")
         if self.chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1 (or None for cpu count)")
+        if self.mp_task_timeout <= 0:
+            raise ValueError("mp_task_timeout must be positive")
         # deferred import: backends depends on kernels, not on config
         from repro.core.backends import AUTO, known_backend_names
 

@@ -139,3 +139,13 @@ class Simulation:
     def timings_json(self, **dumps_kwargs) -> str:
         """Cumulative + per-step wall-clock timings as a JSON string."""
         return self.stepper.instrumentation.to_json(**dumps_kwargs)
+
+    def close(self) -> None:
+        """Release backend resources (worker pools, shared memory)."""
+        self.stepper.close()
+
+    def __enter__(self) -> "Simulation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -135,7 +135,20 @@ class PICStepper:
         self.ey_grid = np.zeros((grid.ncx, grid.ncy))
         self.rho_grid = np.zeros((grid.ncx, grid.ncy))
 
+        # backend hook: multi-process backends relocate the particle and
+        # field storage into shared memory here, before the first kernel
+        # call (the t=0 deposit/solve below already runs through it)
+        self.backend.prepare_stepper(self)
+
         self._init_fields_and_stagger()
+
+    def close(self) -> None:
+        """Release backend-held per-stepper resources (idempotent).
+
+        In-process backends hold none; the ``numpy-mp`` backend shuts
+        down its worker pool and unlinks its shared-memory segments.
+        """
+        self.backend.release_stepper(self)
 
     # ------------------------------------------------------------------
     # Unit scalings (§IV-D)

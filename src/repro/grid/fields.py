@@ -197,6 +197,20 @@ class RedundantFields:
             )
 
     # ------------------------------------------------------------------
+    def adopt_arrays(self, rho_1d: np.ndarray, e_1d: np.ndarray) -> None:
+        """Rebind storage to caller-provided arrays (same shapes/dtypes).
+
+        Used by the shared-memory engine to relocate the redundant
+        arrays into :mod:`multiprocessing.shared_memory` segments: the
+        replacements must carry the current contents (the caller copies
+        before adopting), after which every in-place method here keeps
+        writing through the adopted buffers.
+        """
+        if rho_1d.shape != self.rho_1d.shape or e_1d.shape != self.e_1d.shape:
+            raise ValueError("adopted arrays must match the existing shapes")
+        self.rho_1d = rho_1d
+        self.e_1d = e_1d
+
     def reset_rho(self) -> None:
         self.rho_1d[:] = 0.0
 

@@ -17,6 +17,11 @@ Threads split the particle loops with a per-thread charge reduction
   tests assert).
 * :mod:`~repro.parallel.scaling` — the weak/strong scaling series of
   Figs. 7/9 and Tables VI/VII.
+* :mod:`~repro.parallel.shm` / :mod:`~repro.parallel.executor` — the
+  *real* shared-memory engine: particle and field storage in
+  ``multiprocessing.shared_memory``, the three particle loops fanned
+  out over a persistent worker-process pool, registered as the
+  ``"numpy-mp"`` kernel backend (see ``docs/parallelism.md``).
 """
 
 from repro.parallel.mpi import CollectiveCostModel, SimComm, SimMPI
@@ -39,7 +44,18 @@ from repro.parallel.scaling import (
     weak_scaling_series,
 )
 
+# imported last: executor pulls in repro.core.backends (fully loaded by
+# the time any of the imports above finish) and registers "numpy-mp"
+from repro.parallel.executor import MultiprocessBackend, ShmEngine, WorkerPool
+from repro.parallel.shm import SharedArena, SharedGrid, SharedParticleStorage
+
 __all__ = [
+    "MultiprocessBackend",
+    "ShmEngine",
+    "WorkerPool",
+    "SharedArena",
+    "SharedGrid",
+    "SharedParticleStorage",
     "SimMPI",
     "SimComm",
     "CollectiveCostModel",

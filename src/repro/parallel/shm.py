@@ -1,0 +1,259 @@
+"""Shared-memory storage for the real multiprocessing engine (§V-B).
+
+The simulated layers (:mod:`repro.parallel.mpi`,
+:mod:`repro.parallel.openmp`) reproduce the paper's *semantics* inside
+one interpreter.  This module provides the storage half of the real
+thing: particle attributes and the redundant ``E_1d``/``rho_1d`` grids
+placed in :mod:`multiprocessing.shared_memory` blocks so genuine OS
+processes can run the three particle loops of Fig. 1 concurrently.
+
+Three pieces:
+
+* :class:`SharedArena` — owns named shared-memory segments, hands out
+  numpy arrays backed by them, and guarantees the segments are
+  unlinked on :meth:`~SharedArena.close` or interpreter exit (no stale
+  ``/dev/shm`` entries).  Every allocated array is tracked by object
+  identity so the engine can recognise "its" arrays when the stepper
+  passes them back into kernel calls.
+* :class:`SharedParticleStorage` — a :class:`ParticleSoA` whose
+  attribute arrays live in an arena.  ``clone_empty`` allocates the
+  out-of-place sort's double buffer from the *same* arena, so the
+  stepper's buffer swap keeps both storages visible to the workers.
+* :class:`SharedGrid` — moves a :class:`RedundantFields`' ``rho_1d`` /
+  ``e_1d`` into the arena and adds one private deposit slab per worker
+  plus the fixed cell-range partition (reusing
+  :func:`repro.parallel.openmp.partition_range`) that makes the
+  parallel deposit bitwise-deterministic: worker ``w`` owns the
+  contiguous cell rows ``cell_ranges[w]`` and deposits only particles
+  whose cell falls inside them, in particle order — exactly the terms
+  the serial ``np.bincount`` deposit would put in those rows.
+
+Workers attach to segments lazily by name via :func:`attach_array`;
+the attach path neutralises the ``resource_tracker`` so only the
+owning process unlinks a segment (a child-side tracker would otherwise
+unlink it a second time at child exit and spam warnings).
+"""
+
+from __future__ import annotations
+
+import atexit
+import sys
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.grid.fields import RedundantFields
+from repro.parallel.openmp import partition_range
+from repro.particles.storage import ParticleSoA
+
+__all__ = [
+    "ArraySpec",
+    "SharedArena",
+    "SharedParticleStorage",
+    "SharedGrid",
+    "attach_array",
+]
+
+#: ``(segment_name, dtype_str, shape)`` — everything a worker needs to
+#: attach to one shared array, picklable and cheap to ship per task.
+ArraySpec = tuple
+
+
+class SharedArena:
+    """Owner of named shared-memory segments backing numpy arrays.
+
+    One arena per engine.  Arrays are allocated one-per-segment; the
+    arena remembers ``id(array) -> spec`` so the engine can ask "is
+    this exact array one of mine, and how do workers find it?" via
+    :meth:`spec_for`.  Close (idempotent, also registered with
+    :mod:`atexit`) unlinks every segment; the backing memory itself
+    lives until the last mapping drops, so arrays held by the stepper
+    stay valid while the ``/dev/shm`` entries are already gone.
+    """
+
+    def __init__(self):
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._arrays: dict[int, tuple[np.ndarray, ArraySpec]] = {}
+        self._closed = False
+        atexit.register(self.close)
+
+    # ------------------------------------------------------------------
+    def alloc(self, shape, dtype=np.float64) -> np.ndarray:
+        """A zero-filled shared array of the given shape and dtype."""
+        if self._closed:
+            raise RuntimeError("arena is closed")
+        dt = np.dtype(dtype)
+        shape = tuple(int(s) for s in np.atleast_1d(shape)) if np.ndim(shape) else (int(shape),)
+        nbytes = max(1, int(np.prod(shape)) * dt.itemsize)
+        seg = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._segments.append(seg)
+        arr = np.ndarray(shape, dtype=dt, buffer=seg.buf)
+        arr.fill(0)
+        spec: ArraySpec = (seg.name, dt.str, shape)
+        self._arrays[id(arr)] = (arr, spec)
+        return arr
+
+    def share_copy(self, src: np.ndarray) -> np.ndarray:
+        """A shared array initialised with a copy of ``src``."""
+        arr = self.alloc(src.shape, src.dtype)
+        arr[...] = src
+        return arr
+
+    def spec_for(self, arr) -> ArraySpec | None:
+        """The attach spec for ``arr`` if this arena owns it, else None."""
+        ent = self._arrays.get(id(arr))
+        if ent is not None and ent[0] is arr:
+            return ent[1]
+        return None
+
+    def owns(self, *arrays) -> bool:
+        """Whether every given array is arena-allocated."""
+        return all(self.spec_for(a) is not None for a in arrays)
+
+    @property
+    def segment_names(self) -> tuple[str, ...]:
+        return tuple(seg.name for seg in self._segments)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unlink every segment (idempotent; also runs at exit)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            atexit.unregister(self.close)
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+        for seg in self._segments:
+            # numpy arrays handed to the stepper may still reference the
+            # mapping; close() would then raise BufferError.  Unlinking
+            # alone removes the /dev/shm entry — the memory is reclaimed
+            # when the last mapping (process) goes away.
+            try:
+                seg.close()
+            except BufferError:
+                pass
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without double-unlink at exit.
+
+    Python's ``resource_tracker`` registers every ``SharedMemory``
+    attach for unlink-at-exit; for a segment owned by the parent that
+    is wrong in a worker.  3.13+ exposes ``track=False``; on earlier
+    versions the registration is suppressed during the attach.  (An
+    ``unregister`` *after* attaching would be wrong with the ``fork``
+    start method: workers share the parent's tracker process, so the
+    unregister would erase the creating process's own registration and
+    the parent's later ``unlink`` would trip tracker KeyErrors.)
+    """
+    if sys.version_info >= (3, 13):
+        return shared_memory.SharedMemory(name=name, track=False)
+    orig_register = resource_tracker.register
+    resource_tracker.register = lambda *a, **kw: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = orig_register
+
+
+def attach_array(spec: ArraySpec, cache: dict) -> np.ndarray:
+    """Worker-side: the numpy array for ``spec``, attaching on first use.
+
+    ``cache`` maps segment name to ``(segment, array)`` and must live
+    as long as the returned arrays are in use (the worker keeps one for
+    its whole lifetime).
+    """
+    name, dtype, shape = spec
+    ent = cache.get(name)
+    if ent is None:
+        seg = _attach_segment(name)
+        ent = (seg, np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=seg.buf))
+        cache[name] = ent
+    return ent[1]
+
+
+class SharedParticleStorage(ParticleSoA):
+    """A :class:`ParticleSoA` whose attribute arrays live in an arena.
+
+    Behaviourally identical to the plain SoA storage (same properties,
+    same ``reorder``); only the allocation differs, so the stepper and
+    all kernels are none the wiser.  ``clone_empty`` — used by the
+    out-of-place sort for its double buffer — allocates from the same
+    arena, keeping the swapped-in storage shareable.
+    """
+
+    def __init__(self, n, weight=1.0, store_coords=True, *, arena: SharedArena):
+        self._arena = arena
+        super().__init__(n, weight, store_coords)
+
+    def _allocate(self, n: int, store_coords: bool) -> None:
+        self._icell = self._arena.alloc(n, dtype=np.int64)
+        self._dx = self._arena.alloc(n)
+        self._dy = self._arena.alloc(n)
+        self._vx = self._arena.alloc(n)
+        self._vy = self._arena.alloc(n)
+        if store_coords:
+            self._ix = self._arena.alloc(n, dtype=np.int64)
+            self._iy = self._arena.alloc(n, dtype=np.int64)
+
+    def clone_empty(self):
+        return SharedParticleStorage(
+            self.n, self.weight, self.store_coords, arena=self._arena
+        )
+
+    @classmethod
+    def from_storage(cls, src, arena: SharedArena) -> "SharedParticleStorage":
+        """Copy an existing storage's state into a shared one."""
+        out = cls(src.n, src.weight, src.store_coords, arena=arena)
+        if src.store_coords:
+            out.set_state(src.icell, src.dx, src.dy, src.vx, src.vy, src.ix, src.iy)
+        else:
+            out.set_state(src.icell, src.dx, src.dy, src.vx, src.vy)
+        return out
+
+
+class SharedGrid:
+    """Shared redundant field storage plus per-worker deposit slabs.
+
+    Moves ``fields.rho_1d`` / ``fields.e_1d`` into the arena (the
+    :class:`RedundantFields` instance adopts the shared arrays in
+    place, so every stepper-side read and the Poisson fold see them),
+    and fixes the deposit partition for the engine's lifetime:
+
+    * ``cell_ranges[w]`` — the contiguous slice of cell rows worker
+      ``w`` owns (static split of ``ncells_allocated``);
+    * ``slabs[w]`` — worker ``w``'s private ``(range_len, 4)`` deposit
+      target, written by the worker and added into
+      ``rho_1d[cell_ranges[w]]`` by the parent in worker order.
+
+    Because the ranges are disjoint and each slab row receives exactly
+    the bincount terms the serial deposit would put in the matching
+    ``rho_1d`` row (same particles, same order), the reduction is
+    bitwise-identical to the serial deposit at any worker count.
+    """
+
+    def __init__(self, fields: RedundantFields, nworkers: int, arena: SharedArena):
+        if fields.layout != "redundant":
+            raise ValueError("SharedGrid requires the redundant field layout")
+        self.fields = fields
+        self.arena = arena
+        self.nalloc = int(fields.rho_1d.shape[0])
+        self.rho_1d = arena.share_copy(fields.rho_1d)
+        self.e_1d = arena.share_copy(fields.e_1d)
+        fields.adopt_arrays(self.rho_1d, self.e_1d)
+        self.cell_ranges = partition_range(self.nalloc, nworkers)
+        self.slabs = [
+            arena.alloc((sl.stop - sl.start, 4)) for sl in self.cell_ranges
+        ]
+
+    def reduce_slabs(self, worker_ids) -> None:
+        """Add the given workers' slabs into ``rho_1d`` (disjoint rows)."""
+        for w in sorted(worker_ids):
+            sl = self.cell_ranges[w]
+            if sl.stop > sl.start:
+                self.rho_1d[sl] += self.slabs[w]

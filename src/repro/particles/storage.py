@@ -121,6 +121,12 @@ class ParticleSoA(ParticleStorage):
 
     def __init__(self, n: int, weight: float = 1.0, store_coords: bool = True):
         super().__init__(n, weight, store_coords)
+        self._allocate(self.n, self.store_coords)
+
+    def _allocate(self, n: int, store_coords: bool) -> None:
+        """Allocation hook: subclasses may place the arrays elsewhere
+        (e.g. :class:`repro.parallel.shm.SharedParticleStorage` backs
+        them with shared memory)."""
         self._icell = np.zeros(n, dtype=np.int64)
         self._dx = np.zeros(n)
         self._dy = np.zeros(n)

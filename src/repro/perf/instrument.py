@@ -47,6 +47,14 @@ class StepTimings:
     solve: float = 0.0
     steps: int = 0
     particle_steps: int = 0
+    #: serial-retry events of the numpy-mp engine (0 for in-process
+    #: backends): each counts one worker shard that crashed or timed
+    #: out and was recomputed in the parent
+    fallbacks: int = 0
+    #: per-worker phase seconds of the numpy-mp engine, e.g.
+    #: ``{"worker0": {"update_v": 1.2, ...}}``; empty for in-process
+    #: backends
+    worker_phases: dict = field(default_factory=dict)
 
     @property
     def total(self) -> float:
@@ -73,11 +81,17 @@ class StepTimings:
         }
 
     def as_record(self) -> dict[str, float | int]:
-        """Full serializable state: phases, counters, derived rates."""
-        rec: dict[str, float | int] = self.as_dict()
+        """Full serializable state: phases, counters, derived rates.
+
+        (:meth:`as_dict` keeps its historical phase-only key set; the
+        engine extras — ``fallbacks``, ``workers`` — appear here.)
+        """
+        rec: dict = self.as_dict()
         rec["steps"] = self.steps
         rec["particle_steps"] = self.particle_steps
         rec["particles_per_second"] = self.particles_per_second()
+        rec["fallbacks"] = self.fallbacks
+        rec["workers"] = {w: dict(p) for w, p in self.worker_phases.items()}
         return rec
 
     def to_json(self, **dumps_kwargs) -> str:
@@ -96,6 +110,8 @@ class StepTimings:
             solve=rec["solve"],
             steps=int(rec.get("steps", 0)),
             particle_steps=int(rec.get("particle_steps", 0)),
+            fallbacks=int(rec.get("fallbacks", 0)),
+            worker_phases=rec.get("workers", {}),
         )
 
 
@@ -124,6 +140,7 @@ class Instrumentation:
         """Context for one time step advancing ``n_particles``."""
         current = {"step": self.timings.steps, "particles": int(n_particles)}
         current.update({p: 0.0 for p in PHASES})
+        current["fallbacks"] = 0
         self._current = current
         try:
             yield self
@@ -147,6 +164,21 @@ class Instrumentation:
             setattr(self.timings, name, getattr(self.timings, name) + elapsed)
             if self._current is not None:
                 self._current[name] += elapsed
+
+    def record_fallback(self, count: int = 1) -> None:
+        """Count serial-retry events (numpy-mp worker crash/timeout)."""
+        self.timings.fallbacks += int(count)
+        if self._current is not None:
+            self._current["fallbacks"] += int(count)
+
+    def record_worker_phase(self, worker: str, phase: str, seconds: float) -> None:
+        """Accumulate one worker's wall-clock share of a kernel phase."""
+        if phase not in PHASES:
+            raise KeyError(f"unknown phase {phase!r}; expected one of {PHASES}")
+        per = self.timings.worker_phases.setdefault(
+            worker, {p: 0.0 for p in PHASES}
+        )
+        per[phase] += float(seconds)
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,213 @@
+"""Tests for the real shared-memory multiprocessing engine (numpy-mp).
+
+The contract under test (docs/parallelism.md): running the three §V
+particle loops across worker processes is *bitwise* identical to the
+serial numpy backend — same ρ, same E, same particle state — at any
+worker count, run after run, and even when workers are killed mid-step
+(the parent recomputes the lost shards serially).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.backends import get_backend
+from repro.core.config import OptimizationConfig
+from repro.core.simulation import Simulation
+from repro.grid.spec import GridSpec
+from repro.parallel.executor import MultiprocessBackend, WorkerPool
+from repro.particles.initializers import LandauDamping
+
+pytestmark = pytest.mark.skipif(
+    not MultiprocessBackend.is_available(),
+    reason="POSIX shared memory / multiprocessing unavailable",
+)
+
+#: small enough to be quick, sorts twice within the run
+N_PARTICLES = 2000
+N_STEPS = 7
+SORT_PERIOD = 3
+
+
+def _make_sim(backend, workers=None, **cfg_kw):
+    cfg = OptimizationConfig(
+        backend=backend,
+        workers=workers,
+        particle_layout="soa",
+        field_layout="redundant",
+        loop_mode="split",
+        sort_period=SORT_PERIOD,
+        **cfg_kw,
+    )
+    grid = GridSpec(16, 16)
+    return Simulation(grid, LandauDamping(), N_PARTICLES, cfg, dt=0.05, seed=7)
+
+
+def _state(sim):
+    """Bitwise-comparable snapshot: fields + particle attribute arrays."""
+    st = sim.stepper
+    p = st.particles
+    out = {
+        "rho": st.rho_grid.copy(),
+        "ex": st.ex_grid.copy(),
+        "ey": st.ey_grid.copy(),
+    }
+    for a in ("vx", "vy", "icell", "dx", "dy"):
+        out[a] = getattr(p, a).copy()
+    return out
+
+
+def _assert_bitwise_equal(sa, sb):
+    for key in sa:
+        assert np.array_equal(sa[key], sb[key]), f"{key} differs bitwise"
+
+
+def _engine(sim):
+    return sim.stepper.backend.engine_for(sim.stepper)
+
+
+# ----------------------------------------------------------------------
+# Bitwise equivalence with the serial backend
+# ----------------------------------------------------------------------
+class TestBitwiseEquivalence:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_matches_numpy_backend(self, workers):
+        with _make_sim("numpy") as ref, _make_sim("numpy-mp", workers) as mp:
+            assert _engine(mp) is not None, "engine should be active"
+            ref.run(N_STEPS)
+            mp.run(N_STEPS)
+            assert mp.timings.fallbacks == 0
+            _assert_bitwise_equal(_state(ref), _state(mp))
+
+    def test_repeated_runs_are_deterministic(self):
+        with _make_sim("numpy-mp", 2) as a, _make_sim("numpy-mp", 2) as b:
+            a.run(N_STEPS)
+            b.run(N_STEPS)
+            _assert_bitwise_equal(_state(a), _state(b))
+
+    def test_worker_phase_timings_recorded(self):
+        with _make_sim("numpy-mp", 2) as mp:
+            mp.run(2)
+            phases = mp.timings.worker_phases
+            assert sorted(phases) == ["worker0", "worker1"]
+            # every worker did real work in each particle loop
+            for per in phases.values():
+                assert per["update_v"] > 0.0
+                assert per["update_x"] > 0.0
+                assert per["accumulate"] > 0.0
+            rec = mp.timings.as_record()
+            assert rec["fallbacks"] == 0
+            assert sorted(rec["workers"]) == ["worker0", "worker1"]
+
+
+# ----------------------------------------------------------------------
+# Fault tolerance
+# ----------------------------------------------------------------------
+class TestFaultTolerance:
+    #: bounds the damage if recovery ever regresses: a dispatch that
+    #: loses track of a shard costs seconds, not the 60s default
+    TIMEOUT_KW = {"mp_task_timeout": 10.0}
+
+    def test_killed_worker_falls_back_serially_bitwise(self):
+        with (
+            _make_sim("numpy") as ref,
+            _make_sim("numpy-mp", 2, **self.TIMEOUT_KW) as mp,
+        ):
+            ref.run(N_STEPS)
+            eng = _engine(mp)
+            mp.run(2)
+            eng.pool.kill_worker(0)
+            mp.run(1)  # crash detected here; shards recomputed serially
+            mp.run(N_STEPS - 3)
+            assert mp.timings.fallbacks > 0
+            assert eng.pool.restarts >= 1
+            _assert_bitwise_equal(_state(ref), _state(mp))
+
+    def test_heartbeat_reports_and_recovers(self):
+        with _make_sim("numpy-mp", 2, **self.TIMEOUT_KW) as mp:
+            eng = _engine(mp)
+            assert eng.ping() == [True, True]
+            eng.pool.kill_worker(1)
+            eng.ping()  # detects the corpse and respawns it
+            assert eng.ping() == [True, True]
+
+    def test_pool_timeout_kills_hung_worker(self):
+        pool = WorkerPool(2, timeout=0.25)
+        try:
+            done, failed = pool.run_shards(
+                [(0, {"op": "sleep", "seconds": 30.0}), (1, {"op": "ping"})]
+            )
+            assert [wid for (wid, _m), _s in done] == [1]
+            assert [wid for wid, _m in failed] == [0]
+            assert pool.restarts == 1
+            assert pool.ping() == [True, True]  # replacement is healthy
+        finally:
+            pool.close()
+
+
+# ----------------------------------------------------------------------
+# Resource lifecycle
+# ----------------------------------------------------------------------
+class TestResourceLifecycle:
+    def test_close_unlinks_all_shared_segments(self):
+        sim = _make_sim("numpy-mp", 2)
+        eng = _engine(sim)
+        segs = list(eng.arena.segment_names)
+        assert segs, "engine should have allocated shared segments"
+        sim.run(2)
+        sim.close()
+        if os.path.isdir("/dev/shm"):
+            left = [s for s in segs if os.path.exists("/dev/shm/" + s)]
+            assert left == [], f"leaked shared-memory segments: {left}"
+        # idempotent: a second close must not raise
+        sim.close()
+
+    def test_release_detaches_engine(self):
+        sim = _make_sim("numpy-mp", 2)
+        backend = sim.stepper.backend
+        stepper = sim.stepper
+        sim.close()
+        assert backend.engine_for(stepper) is None
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation
+# ----------------------------------------------------------------------
+class TestFallbackPaths:
+    def test_plain_arrays_use_serial_kernels(self, rng):
+        """Direct kernel calls on non-shared arrays match numpy exactly."""
+        npb = get_backend("numpy")
+        mpb = get_backend("numpy-mp")
+        n, ncells = 500, 64
+        e_1d = rng.random((ncells, 8))
+        icell = rng.integers(0, ncells, n)
+        dx, dy = rng.random(n), rng.random(n)
+        ex_a, ey_a = npb.interpolate_redundant(e_1d, icell, dx, dy)
+        ex_b, ey_b = mpb.interpolate_redundant(e_1d, icell, dx, dy)
+        assert np.array_equal(ex_a, ex_b) and np.array_equal(ey_a, ey_b)
+        rho_a = np.zeros((ncells, 4))
+        rho_b = np.zeros((ncells, 4))
+        npb.accumulate_redundant(rho_a, icell, dx, dy)
+        mpb.accumulate_redundant(rho_b, icell, dx, dy)
+        assert np.array_equal(rho_a, rho_b)
+
+    def test_ineligible_layout_runs_without_engine(self):
+        """standard field layout is not shardable -> serial kernels, no engine."""
+        cfg = OptimizationConfig(
+            backend="numpy-mp",
+            particle_layout="soa",
+            field_layout="standard",
+            loop_mode="split",
+        )
+        with Simulation(GridSpec(16, 16), LandauDamping(), 500, cfg, seed=7) as sim:
+            assert _engine(sim) is None
+            sim.run(2)  # must still advance correctly
+
+    def test_config_rejects_bad_worker_counts(self):
+        with pytest.raises(ValueError):
+            OptimizationConfig(workers=0)
+        with pytest.raises(ValueError):
+            OptimizationConfig(mp_task_timeout=0.0)
