@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-scaling examples results clean docs-check check
+.PHONY: install test bench bench-scaling chaos examples results clean docs-check check
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -13,8 +13,13 @@ test:
 docs-check:
 	$(PYTHON) tools/check_links.py
 
-check: docs-check
+check: docs-check chaos
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/
+
+# fault-injection suite under a fixed seed, then assert zero leaked
+# /dev/shm segments and zero checkpoint temp files
+chaos:
+	$(PYTHON) tools/chaos_check.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

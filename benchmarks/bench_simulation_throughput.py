@@ -58,3 +58,43 @@ def test_optimized_not_slower_than_baseline():
         times[label] = time.perf_counter() - t0
     # allow noise, but the optimized path must be at least competitive
     assert times["optimized"] < 1.35 * times["baseline"]
+
+
+def test_supervision_overhead_under_ten_percent():
+    """Guards + a checkpoint every 50 steps must cost < 10% wall-clock.
+
+    The supervisor's promise is "resilience for almost nothing": the
+    per-step additions are read-only guard scans, and the checkpoint
+    write amortizes over its 50-step window.  Min-of-3 on both sides
+    to keep scheduler noise out of the ratio.
+    """
+    import time
+
+    from repro.resilience import SupervisedRun
+
+    steps = 60  # one rotation checkpoint fires mid-run at iteration 50
+
+    def plain_run():
+        sim = _make_sim(OptimizationConfig.fully_optimized())
+        t0 = time.perf_counter()
+        sim.run(steps)
+        elapsed = time.perf_counter() - t0
+        sim.close()
+        return elapsed
+
+    def supervised_run():
+        sim = _make_sim(OptimizationConfig.fully_optimized())
+        with SupervisedRun(sim, checkpoint_every=50, guards="default") as sup:
+            t0 = time.perf_counter()
+            sup.run(steps)
+            elapsed = time.perf_counter() - t0
+            assert sup.report.checkpoints_written >= 2  # initial + step 50
+            assert not sup.report.failures
+        return elapsed
+
+    plain = min(plain_run() for _ in range(3))
+    supervised = min(supervised_run() for _ in range(3))
+    assert supervised < 1.10 * plain, (
+        f"supervision overhead {supervised / plain - 1:.1%} exceeds 10% "
+        f"({supervised:.3f}s vs {plain:.3f}s)"
+    )

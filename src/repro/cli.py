@@ -85,6 +85,25 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--timings-json", type=str, default=None, metavar="PATH",
                      help="write per-phase wall-clock timings (cumulative "
                      "and per-step) to this JSON file")
+    run.add_argument("--supervise", action="store_true",
+                     help="run under the resilience supervisor: invariant "
+                     "guards, rotating checkpoints, rollback-and-retry with "
+                     "backend degradation on repeated failure")
+    run.add_argument("--checkpoint-every", type=int, default=50, metavar="N",
+                     help="supervised mode: steps between rotation "
+                     "checkpoints (default: 50)")
+    run.add_argument("--keep-checkpoints", type=int, default=3, metavar="K",
+                     help="supervised mode: rotation depth (default: 3)")
+    run.add_argument("--max-retries", type=int, default=3, metavar="R",
+                     help="supervised mode: consecutive failures before the "
+                     "backend is degraded (default: 3)")
+    run.add_argument("--guards", type=str, default="default", metavar="SPEC",
+                     help="supervised mode: guard spec, e.g. 'default', "
+                     "'none', 'all', or 'finite,cells,charge:1e-6,energy:0.2'")
+    run.add_argument("--checkpoint-dir", type=str, default=None, metavar="DIR",
+                     help="supervised mode: keep the checkpoint rotation in "
+                     "this directory (default: private temp dir, removed "
+                     "after the run)")
 
     om = sub.add_parser("orderings", help="print an ordering's index map")
     om.add_argument("--ordering", choices=_ORDERINGS, default="morton")
@@ -133,12 +152,28 @@ def _cmd_run(args) -> int:
         grid, case, args.particles, cfg, dt=args.dt,
         quiet=quiet, seed=args.seed,
     )
+    supervisor = None
     try:
+        if args.supervise:
+            from repro.resilience import SupervisedRun
+
+            supervisor = SupervisedRun(
+                sim,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+                keep_checkpoints=args.keep_checkpoints,
+                guards=args.guards,
+                max_retries=args.max_retries,
+            )
         print(f"case={args.case} grid={ncx}x{ncy} particles={args.particles} "
               f"ordering={args.ordering} dt={args.dt} "
               f"backend={sim.stepper.backend.name} "
-              f"start={'quiet' if quiet else f'seed {args.seed}'}")
-        sim.run(args.steps)
+              f"start={'quiet' if quiet else f'seed {args.seed}'}"
+              + (f" supervised=[{args.guards}]" if supervisor else ""))
+        if supervisor is not None:
+            supervisor.run(args.steps)
+        else:
+            sim.run(args.steps)
         h = sim.history.as_arrays()
         print(f"{'t':>7s} {'field E':>13s} {'kinetic E':>13s} {'total E':>13s}")
         for i in range(0, args.steps + 1, max(args.every, 1)):
@@ -154,18 +189,28 @@ def _cmd_run(args) -> int:
             print(f"  {phase:11s} {secs:9.4f} s  ({pct:5.1f}%)")
         if t.fallbacks:
             print(f"fallbacks   : {t.fallbacks} worker shard(s) retried serially")
+        if supervisor is not None:
+            rep = supervisor.report
+            print(f"supervisor  : {rep.checkpoints_written} checkpoint(s), "
+                  f"{len(rep.failures)} failure(s), {rep.rollbacks} "
+                  f"rollback(s), {len(rep.degradations)} degradation(s); "
+                  f"backend chain {' -> '.join(rep.backend_history)}")
         if args.timings_json:
             import pathlib
 
             path = pathlib.Path(args.timings_json)
-            path.write_text(sim.timings_json(indent=2))
+            source = supervisor if supervisor is not None else sim
+            path.write_text(source.timings_json(indent=2))
             print(f"timings     : {path}")
         if args.checkpoint:
             from repro.core.checkpoint import save_checkpoint
 
-            path = save_checkpoint(sim.stepper, args.checkpoint)
+            # end-of-run archival checkpoint: size over write latency
+            path = save_checkpoint(sim.stepper, args.checkpoint, compress=True)
             print(f"checkpoint  : {path}")
     finally:
+        if supervisor is not None:
+            supervisor.close()  # also closes sim, and keeps --checkpoint-dir
         sim.close()
     return 0
 
@@ -286,6 +331,7 @@ def main(argv=None) -> int:
     import logging
 
     from repro.core.backends import BackendUnavailableError
+    from repro.resilience import SupervisionError
 
     # surface the backend-resolution and numpy-mp engine log lines
     # (stderr, so stdout stays machine-readable)
@@ -301,6 +347,10 @@ def main(argv=None) -> int:
     }
     try:
         return handlers[args.command](args)
+    except SupervisionError as exc:
+        print(f"error: supervised run failed permanently: {exc}",
+              file=sys.stderr)
+        return 3
     except (BackendUnavailableError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -55,6 +55,7 @@ __all__ = [
     "resolve_backend_name",
     "known_backend_names",
     "available_backends",
+    "degradation_chain",
     "AUTO",
 ]
 
@@ -102,6 +103,12 @@ class KernelBackend(abc.ABC):
     name: str = "?"
     #: ``"auto"`` picks the available backend with the highest priority.
     priority: int = 0
+    #: Next backend to fall back to when this one keeps failing at
+    #: runtime (the supervisor's degradation chain); ``None`` ends the
+    #: chain.  Distinct from ``priority``: priority ranks *preference*
+    #: at selection time, ``degrades_to`` encodes which simpler engine
+    #: can take over mid-run with identical physics.
+    degrades_to: str | None = None
 
     @classmethod
     def is_available(cls) -> bool:
@@ -260,6 +267,34 @@ def _auto_candidates() -> list[str]:
     return [n for _p, n in ranked]
 
 
+def degradation_chain(name: str = AUTO) -> tuple[str, ...]:
+    """The runtime fallback chain starting at ``name``.
+
+    Follows :attr:`KernelBackend.degrades_to` links (``numba`` →
+    ``numpy-mp`` → ``numpy`` with everything installed), keeping only
+    backends whose dependencies are importable, so the result is the
+    ordered list of engines a supervised run may degrade through —
+    index 0 is the backend ``name`` resolves to.  Unknown names yield
+    a single-element chain of themselves resolved (the caller will hit
+    the usual :func:`get_backend` error when instantiating).
+    """
+    _load_plugin_backends()
+    current: str | None = resolve_backend_name(name)
+    chain: list[str] = []
+    seen: set[str] = set()
+    while current is not None and current not in seen:
+        seen.add(current)
+        cls = _REGISTRY.get(current)
+        if cls is None:
+            if not chain:
+                chain.append(current)
+            break
+        if cls.is_available():
+            chain.append(current)
+        current = cls.degrades_to
+    return tuple(chain)
+
+
 def resolve_backend_name(name: str = AUTO) -> str:
     """Apply the auto-selection policy without instantiating.
 
@@ -337,6 +372,7 @@ class NumpyBackend(KernelBackend):
 
     name = "numpy"
     priority = 10
+    degrades_to = None  # end of every chain: pure NumPy always works
 
     accumulate_standard = staticmethod(_k.accumulate_standard)
     accumulate_redundant = staticmethod(_k.accumulate_redundant)
@@ -374,6 +410,7 @@ class NumbaBackend(KernelBackend):
 
     name = "numba"
     priority = 20
+    degrades_to = "numpy-mp"
 
     @classmethod
     def is_available(cls) -> bool:

@@ -54,6 +54,21 @@ class SimulationHistory:
             "total_energy": self.total_energy,
         }
 
+    def truncate(self, n_entries: int) -> None:
+        """Drop diagnostic entries beyond the first ``n_entries``.
+
+        Used by the run supervisor when rolling back to a checkpoint:
+        entries recorded for the steps being rolled back (possibly
+        already poisoned by the fault) are discarded, and the re-run
+        steps append fresh ones.  ``step_timings`` is wall-clock
+        bookkeeping, not physics — rolled-back step records are kept
+        (honest accounting of time actually spent)."""
+        n = max(0, int(n_entries))
+        del self.times[n:]
+        del self.field_energy[n:]
+        del self.kinetic_energy[n:]
+        del self.mode_amplitude[n:]
+
 
 class Simulation:
     """A configured PIC run with diagnostics.
@@ -78,6 +93,7 @@ class Simulation:
         **stepper_kwargs,
     ):
         self.config = config if config is not None else OptimizationConfig()
+        self._closed = False
         self.stepper = PICStepper(
             grid,
             self.config,
@@ -91,7 +107,14 @@ class Simulation:
         self.mode_x = mode_x
         self.mode_y = mode_y
         self.history = SimulationHistory()
-        self._record()
+        try:
+            self._record()
+        except BaseException:
+            # never leak the stepper's backend resources (worker pool,
+            # /dev/shm segments) when construction dies after the
+            # stepper came up
+            self.close()
+            raise
 
     # ------------------------------------------------------------------
     def _record(self) -> None:
@@ -112,11 +135,22 @@ class Simulation:
         if last is not None and len(self.history.step_timings) < st.timings.steps:
             self.history.step_timings.append(last)
 
+    def step(self) -> None:
+        """Advance one time step and record its diagnostics.
+
+        The single-step unit :meth:`run` iterates — exposed so the run
+        supervisor (:mod:`repro.resilience.supervisor`) can interleave
+        guard checks and checkpoints between steps while executing
+        *exactly* the same code path (supervised and unsupervised runs
+        must stay bitwise identical when no fault fires).
+        """
+        self.stepper.step()
+        self._record()
+
     def run(self, n_steps: int) -> SimulationHistory:
         """Advance ``n_steps``, recording diagnostics after each step."""
         for _ in range(n_steps):
-            self.stepper.step()
-            self._record()
+            self.step()
         return self.history
 
     # ------------------------------------------------------------------
@@ -141,8 +175,19 @@ class Simulation:
         return self.stepper.instrumentation.to_json(**dumps_kwargs)
 
     def close(self) -> None:
-        """Release backend resources (worker pools, shared memory)."""
-        self.stepper.close()
+        """Release backend resources (worker pools, shared memory).
+
+        Idempotent, and safe on every exit path: ``__exit__`` invokes
+        it whether the ``with`` body completed or raised (e.g. a guard
+        aborting mid-step), so the ``numpy-mp`` worker pool and its
+        ``/dev/shm`` segments are torn down either way.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        stepper = getattr(self, "stepper", None)
+        if stepper is not None:
+            stepper.close()
 
     def __enter__(self) -> "Simulation":
         return self

@@ -135,19 +135,31 @@ class PICStepper:
         self.ey_grid = np.zeros((grid.ncx, grid.ncy))
         self.rho_grid = np.zeros((grid.ncx, grid.ncy))
 
+        self._closed = False
         # backend hook: multi-process backends relocate the particle and
         # field storage into shared memory here, before the first kernel
-        # call (the t=0 deposit/solve below already runs through it)
-        self.backend.prepare_stepper(self)
-
-        self._init_fields_and_stagger()
+        # call (the t=0 deposit/solve below already runs through it).
+        # If anything after the hook raises, release what the hook
+        # acquired — a failed construction must not leak a worker pool
+        # or /dev/shm segments until interpreter exit.
+        try:
+            self.backend.prepare_stepper(self)
+            self._init_fields_and_stagger()
+        except BaseException:
+            self.close()
+            raise
 
     def close(self) -> None:
         """Release backend-held per-stepper resources (idempotent).
 
         In-process backends hold none; the ``numpy-mp`` backend shuts
         down its worker pool and unlinks its shared-memory segments.
+        Safe to call any number of times, including from exception
+        paths and after a failed construction.
         """
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
         self.backend.release_stepper(self)
 
     # ------------------------------------------------------------------

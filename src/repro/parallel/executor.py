@@ -51,13 +51,28 @@ from repro.parallel.shm import (
 )
 from repro.particles.storage import ParticleSoA
 
-__all__ = ["WorkerPool", "ShmEngine", "MultiprocessBackend"]
+__all__ = [
+    "WorkerPool",
+    "ShmEngine",
+    "MultiprocessBackend",
+    "PoolUnrecoverableError",
+]
 
 _log = logging.getLogger("repro.parallel.executor")
 
 #: Engines currently alive; the backend routes kernel calls to the
 #: engine whose arena owns the arrays it was handed.
 _LIVE_ENGINES: list["ShmEngine"] = []
+
+
+class PoolUnrecoverableError(RuntimeError):
+    """The worker pool is past saving: every shard of several
+    consecutive dispatches failed, so serial retries are carrying the
+    whole run while workers keep dying.  Raised by
+    :meth:`ShmEngine._dispatch` so a supervisor (or the caller) can
+    degrade to an in-process backend instead of limping on; without a
+    supervisor it surfaces the pool's state instead of hiding it
+    behind silent serial fallbacks."""
 
 
 # ----------------------------------------------------------------------
@@ -440,6 +455,12 @@ class ShmEngine:
             self._iy_new = a.alloc(self.n, dtype=np.int64)
 
         self.pool = WorkerPool(self.nworkers, timeout=self.task_timeout)
+        #: consecutive dispatches in which *every* shard failed; at
+        #: ``max_failure_streak`` the engine declares itself
+        #: unrecoverable (see :meth:`_dispatch`)
+        self.max_failure_streak = 3
+        self._failure_streak = 0
+        self.unrecoverable = False
         self._closed = False
         _LIVE_ENGINES.append(self)
         atexit.register(self.close)
@@ -455,7 +476,19 @@ class ShmEngine:
         return out
 
     def _dispatch(self, phase, shards):
-        """Run shards; record per-worker timings; return failed msgs."""
+        """Run shards; record per-worker timings; return failed msgs.
+
+        Raises :class:`PoolUnrecoverableError` once every shard of
+        ``max_failure_streak`` consecutive dispatches has failed —
+        at that point the pool is doing no useful work (each "retry"
+        is the parent recomputing everything serially) and the caller
+        should degrade to an in-process backend.
+        """
+        if self.unrecoverable:
+            raise PoolUnrecoverableError(
+                f"numpy-mp pool already declared unrecoverable after "
+                f"{self._failure_streak} fully-failed dispatches"
+            )
         done, failed = self.pool.run_shards(shards, timeout=self.task_timeout)
         instr = self.instrumentation
         if instr is not None:
@@ -463,6 +496,17 @@ class ShmEngine:
                 instr.record_worker_phase(f"worker{wid}", phase, secs)
             if failed:
                 instr.record_fallback(len(failed))
+        if shards and failed and len(failed) == len(shards):
+            self._failure_streak += 1
+            if self._failure_streak >= self.max_failure_streak:
+                self.unrecoverable = True
+                raise PoolUnrecoverableError(
+                    f"numpy-mp pool unrecoverable: all {len(shards)} "
+                    f"shard(s) failed in {self._failure_streak} consecutive "
+                    f"dispatches ({self.pool.restarts} worker restarts)"
+                )
+        elif done:
+            self._failure_streak = 0
         return failed
 
     def _particle_shards(self, op, arrays, **extra):
@@ -613,6 +657,7 @@ class MultiprocessBackend(NumpyBackend):
 
     name = "numpy-mp"
     priority = 5
+    degrades_to = "numpy"
 
     _available: bool | None = None
 

@@ -51,6 +51,11 @@ class StepTimings:
     #: backends): each counts one worker shard that crashed or timed
     #: out and was recomputed in the parent
     fallbacks: int = 0
+    #: supervisor rollbacks: times a
+    #: :class:`repro.resilience.supervisor.SupervisedRun` restored the
+    #: simulation from a checkpoint after a guard violation or a
+    #: backend exception (0 for unsupervised runs)
+    rollbacks: int = 0
     #: per-worker phase seconds of the numpy-mp engine, e.g.
     #: ``{"worker0": {"update_v": 1.2, ...}}``; empty for in-process
     #: backends
@@ -91,6 +96,7 @@ class StepTimings:
         rec["particle_steps"] = self.particle_steps
         rec["particles_per_second"] = self.particles_per_second()
         rec["fallbacks"] = self.fallbacks
+        rec["rollbacks"] = self.rollbacks
         rec["workers"] = {w: dict(p) for w, p in self.worker_phases.items()}
         return rec
 
@@ -111,6 +117,7 @@ class StepTimings:
             steps=int(rec.get("steps", 0)),
             particle_steps=int(rec.get("particle_steps", 0)),
             fallbacks=int(rec.get("fallbacks", 0)),
+            rollbacks=int(rec.get("rollbacks", 0)),
             worker_phases=rec.get("workers", {}),
         )
 
@@ -130,6 +137,10 @@ class Instrumentation:
     timings: StepTimings = field(default_factory=StepTimings)
     #: one ``{"step": i, "particles": n, "<phase>": seconds...}`` per step
     per_step: list[dict] = field(default_factory=list)
+    #: machine-readable run-supervisor report (checkpoints, rollbacks,
+    #: degradations) attached by ``SupervisedRun``; ``None`` for
+    #: unsupervised runs and omitted from :meth:`as_record` while unset
+    supervisor: dict | None = None
 
     def __post_init__(self):
         self._current: dict | None = None
@@ -186,12 +197,23 @@ class Instrumentation:
         """The most recent completed per-step record (None before step 1)."""
         return self.per_step[-1] if self.per_step else None
 
+    def record_rollback(self, count: int = 1) -> None:
+        """Count supervisor rollback events (checkpoint restores)."""
+        self.timings.rollbacks += int(count)
+
     def as_record(self) -> dict:
-        """Cumulative timings plus the per-step series, one JSON object."""
-        return {
+        """Cumulative timings plus the per-step series, one JSON object.
+
+        Supervised runs additionally carry the supervisor's run report
+        under the ``"supervisor"`` key.
+        """
+        rec = {
             "cumulative": self.timings.as_record(),
             "per_step": list(self.per_step),
         }
+        if self.supervisor is not None:
+            rec["supervisor"] = dict(self.supervisor)
+        return rec
 
     def to_json(self, **dumps_kwargs) -> str:
         return json.dumps(self.as_record(), **dumps_kwargs)

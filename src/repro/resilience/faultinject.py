@@ -1,0 +1,221 @@
+"""Deterministic, seeded fault injection for tests and chaos runs.
+
+The supervisor's recovery paths (rollback, backend degradation, torn-
+checkpoint skipping) are only trustworthy if they are *exercised*, so
+this module provides reproducible ways to break a running simulation:
+
+* :meth:`FaultInjector.add_nan` — poison a particle attribute with NaN
+  at a chosen step (indices drawn from a seeded RNG, so two runs with
+  the same seed corrupt the same particles);
+* :meth:`FaultInjector.add_kernel_raise` — make a chosen kernel raise
+  :class:`InjectedKernelError`, optionally only while a given backend
+  is active (a persistent fault that degradation "fixes");
+* :meth:`FaultInjector.add_worker_kill` — SIGKILL one ``numpy-mp``
+  worker mid-run (exercises the pool's respawn + serial-retry path);
+* :func:`truncate_file` — tear a checkpoint archive on disk.
+
+The injector is driven by :class:`~repro.resilience.supervisor.
+SupervisedRun`, which calls :meth:`FaultInjector.before_step` with the
+stepper and the index of the step about to execute.  One-shot faults
+(``once=True``, the default for NaN/kill) fire exactly once per
+injector even across rollback re-execution — the model of a transient
+fault; backend-gated kernel faults persist until the supervisor
+degrades past the gated backend — the model of a deterministically
+broken engine.
+
+This module is test/benchmark machinery only: nothing in the engine
+imports it, and an injector is only active where one is passed in
+explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Fault",
+    "FaultInjector",
+    "InjectedKernelError",
+    "truncate_file",
+]
+
+
+class InjectedKernelError(RuntimeError):
+    """Raised by an injected kernel fault (never by real kernels)."""
+
+
+@dataclass
+class Fault:
+    """One scheduled fault.
+
+    ``kind`` is ``"nan"``, ``"kernel_raise"`` or ``"worker_kill"``;
+    the remaining fields apply per kind (see the ``add_*`` helpers).
+    ``fired`` counts activations, so ``once`` faults stay spent across
+    rollback re-execution of their step.
+    """
+
+    kind: str
+    step: int
+    array: str = "vx"
+    count: int = 4
+    kernel: str = "accumulate_redundant"
+    backend: str | None = None
+    worker: int = 0
+    once: bool = True
+    fired: int = field(default=0, compare=False)
+
+
+class _KernelTrap:
+    """Backend proxy that raises for the trapped kernel names.
+
+    Delegates every other attribute to the real backend, so stepper
+    bookkeeping (``backend.name``, lifecycle hooks, untouched kernels)
+    is unaffected.  Installed/removed per step by the injector.
+    """
+
+    def __init__(self, inner, faults):
+        self._inner = inner
+        self._faults = {f.kernel: f for f in faults}
+
+    def __getattr__(self, name):
+        fault = self._faults.get(name)
+        if fault is None:
+            return getattr(self._inner, name)
+
+        def _raise(*_args, **_kwargs):
+            fault.fired += 1
+            raise InjectedKernelError(
+                f"injected fault in kernel {name!r} "
+                f"(backend {self._inner.name!r}, firing #{fault.fired})"
+            )
+
+        return _raise
+
+
+class FaultInjector:
+    """A seeded plan of faults applied between/inside steps.
+
+    ``seed`` determinises everything random (which particles a NaN
+    poisoning hits); the step schedule itself is explicit.  The
+    injector is reusable across rollbacks of the same run — spent
+    one-shot faults do not re-fire — but not across runs; build a new
+    injector per run.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self.faults: list[Fault] = []
+        #: log of fired faults: ``(step, kind, detail)`` tuples
+        self.log: list[tuple[int, str, str]] = []
+
+    # ------------------------------------------------------------------
+    # Plan construction
+    # ------------------------------------------------------------------
+    def add_nan(self, step: int, array: str = "vx", count: int = 4,
+                once: bool = True) -> "FaultInjector":
+        """Poison ``count`` entries of ``particles.<array>`` with NaN
+        just before ``step`` executes."""
+        self.faults.append(Fault("nan", int(step), array=array,
+                                 count=int(count), once=once))
+        return self
+
+    def add_kernel_raise(self, step: int, kernel: str = "accumulate_redundant",
+                         backend: str | None = None,
+                         once: bool = False) -> "FaultInjector":
+        """Make ``backend.<kernel>`` raise from ``step`` onwards.
+
+        With ``backend`` set, the fault only arms while that backend is
+        active — a deterministic engine fault that goes away once the
+        supervisor degrades to the next backend in the chain.  With
+        ``once=True`` the first raise disarms it (a transient glitch).
+        """
+        self.faults.append(Fault("kernel_raise", int(step), kernel=kernel,
+                                 backend=backend, once=once))
+        return self
+
+    def add_worker_kill(self, step: int, worker: int = 0,
+                        once: bool = True) -> "FaultInjector":
+        """SIGKILL ``numpy-mp`` worker ``worker`` just before ``step``.
+
+        A no-op for in-process backends (logged as skipped) — the fault
+        models an OS-level crash only the multiprocess engine has."""
+        self.faults.append(Fault("worker_kill", int(step), worker=int(worker),
+                                 once=once))
+        return self
+
+    # ------------------------------------------------------------------
+    # Execution (driven by the supervisor)
+    # ------------------------------------------------------------------
+    def before_step(self, stepper, step: int) -> None:
+        """Apply every fault due at ``step``; manage kernel traps."""
+        real = self._real_backend(stepper)
+        for f in self.faults:
+            if f.kind == "nan" and self._due(f, step):
+                self._poison(stepper, f)
+            elif f.kind == "worker_kill" and self._due(f, step):
+                self._kill_worker(stepper, real, f)
+        # (re)install or remove the kernel trap to match what is armed
+        armed = [
+            f for f in self.faults
+            if f.kind == "kernel_raise"
+            and step >= f.step
+            and not (f.once and f.fired)
+            and (f.backend is None or f.backend == real.name)
+        ]
+        stepper.backend = _KernelTrap(real, armed) if armed else real
+
+    # ------------------------------------------------------------------
+    def _due(self, fault: Fault, step: int) -> bool:
+        return step == fault.step and not (fault.once and fault.fired)
+
+    @staticmethod
+    def _real_backend(stepper):
+        backend = stepper.backend
+        return backend._inner if isinstance(backend, _KernelTrap) else backend
+
+    def _poison(self, stepper, fault: Fault) -> None:
+        arr = np.asarray(getattr(stepper.particles, fault.array))
+        if arr.size == 0:  # pragma: no cover - nothing to poison
+            return
+        # seed per (injector, step, array): reproducible regardless of
+        # how many times other faults fired first
+        rng = np.random.default_rng(
+            (self.seed, fault.step, hash(fault.array) & 0xFFFF)
+        )
+        idx = rng.choice(arr.size, size=min(fault.count, arr.size),
+                         replace=False)
+        arr[idx] = np.nan
+        fault.fired += 1
+        self.log.append(
+            (fault.step, "nan",
+             f"{fault.array}[{np.sort(idx).tolist()}] <- nan")
+        )
+
+    def _kill_worker(self, stepper, backend, fault: Fault) -> None:
+        engine = None
+        engine_for = getattr(backend, "engine_for", None)
+        if engine_for is not None:
+            engine = engine_for(stepper)
+        if engine is None:
+            self.log.append((fault.step, "worker_kill",
+                             "skipped: no numpy-mp engine"))
+            return
+        fault.fired += 1
+        engine.pool.kill_worker(fault.worker)
+        self.log.append((fault.step, "worker_kill",
+                         f"killed worker {fault.worker}"))
+
+
+def truncate_file(path, keep_bytes: int | None = None,
+                  fraction: float = 0.5) -> int:
+    """Tear a file to its first ``keep_bytes`` (or ``fraction`` of its
+    size) — a torn-checkpoint simulator.  Returns the new size."""
+    size = os.path.getsize(path)
+    keep = int(size * fraction) if keep_bytes is None else int(keep_bytes)
+    keep = max(0, min(keep, size))
+    with open(path, "r+b") as fh:
+        fh.truncate(keep)
+    return keep

@@ -154,3 +154,38 @@ class TestRun:
         )
         assert code == 0
         assert "case=bump-on-tail" in out
+
+
+class TestSupervisedRunCommand:
+    def test_supervised_run_reports(self, capsys, tmp_path):
+        tj = tmp_path / "timings.json"
+        code, out = run_cli(
+            capsys, "run", "--particles", "2000", "--steps", "6",
+            "--grid", "16", "8", "--supervise", "--checkpoint-every", "2",
+            "--timings-json", str(tj),
+        )
+        assert code == 0
+        assert "supervised=[default]" in out
+        assert "supervisor  :" in out and "0 rollback(s)" in out
+        import json
+
+        rec = json.loads(tj.read_text())
+        assert rec["supervisor"]["checkpoints_written"] >= 1
+        assert rec["supervisor"]["guards"] == ["finite", "cells", "charge"]
+
+    def test_checkpoint_dir_kept(self, capsys, tmp_path):
+        ckdir = tmp_path / "rot"
+        code, _ = run_cli(
+            capsys, "run", "--particles", "2000", "--steps", "4",
+            "--grid", "16", "8", "--supervise", "--checkpoint-every", "2",
+            "--keep-checkpoints", "2", "--checkpoint-dir", str(ckdir),
+        )
+        assert code == 0
+        assert list(ckdir.glob("ckpt-*.npz"))
+
+    def test_bad_guard_spec_rejected(self, capsys):
+        code, _ = run_cli(
+            capsys, "run", "--particles", "1000", "--steps", "2",
+            "--grid", "16", "8", "--supervise", "--guards", "entropy",
+        )
+        assert code == 2

@@ -118,3 +118,70 @@ class TestCompatibilityChecks:
         np.savez_compressed(path, _meta=json.dumps(meta), **arrays)
         with pytest.raises(CheckpointMismatchError, match="version"):
             load_checkpoint(path)
+
+
+class TestCrashSafety:
+    def test_save_leaves_no_tmp_sibling(self, grid, tmp_path):
+        a = fresh_stepper(grid, n=500)
+        save_checkpoint(a, tmp_path / "ck.npz")
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.npz"]
+
+    def test_suffix_normalized(self, grid, tmp_path):
+        a = fresh_stepper(grid, n=500)
+        path = save_checkpoint(a, tmp_path / "ck")
+        assert path.name == "ck.npz" and path.exists()
+
+    def test_failed_write_preserves_previous_checkpoint(
+        self, grid, tmp_path, monkeypatch
+    ):
+        a = fresh_stepper(grid, n=500)
+        path = save_checkpoint(a, tmp_path / "ck.npz")
+        good = path.read_bytes()
+        a.step()
+
+        def boom(*_a, **_kw):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez", boom)
+        with pytest.raises(OSError, match="disk full"):
+            save_checkpoint(a, path)
+        assert path.read_bytes() == good  # old archive untouched
+        assert list(tmp_path.glob("*.tmp")) == []  # no litter either
+
+    def test_truncated_archive_rejected(self, grid, tmp_path):
+        a = fresh_stepper(grid, n=500)
+        path = save_checkpoint(a, tmp_path / "ck.npz")
+        size = path.stat().st_size
+        with open(path, "r+b") as fh:
+            fh.truncate(size // 2)
+        with pytest.raises(CheckpointMismatchError, match="corrupt"):
+            load_checkpoint(path)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(CheckpointMismatchError):
+            load_checkpoint(path)
+
+    def test_missing_array_rejected(self, grid, tmp_path):
+        import json
+
+        a = fresh_stepper(grid, n=500)
+        path = save_checkpoint(a, tmp_path / "ck.npz")
+        with np.load(path) as data:
+            arrays = {
+                k: data[k] for k in data.files if k not in ("_meta", "vx")
+            }
+            meta = str(data["_meta"])
+        np.savez_compressed(path, _meta=meta, **arrays)
+        with pytest.raises(CheckpointMismatchError, match="missing arrays.*vx"):
+            load_checkpoint(path)
+
+    def test_missing_meta_rejected(self, grid, tmp_path):
+        a = fresh_stepper(grid, n=500)
+        path = save_checkpoint(a, tmp_path / "ck.npz")
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files if k != "_meta"}
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(CheckpointMismatchError, match="metadata"):
+            load_checkpoint(path)

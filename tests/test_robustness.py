@@ -195,3 +195,247 @@ class TestHybridComposition:
         results = SimMPI(nranks).run(rank_fn)
         for r in results:
             np.testing.assert_allclose(r, serial, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Resilience layer: guards, fault injection, supervised runs
+# ----------------------------------------------------------------------
+import os
+
+from repro.grid import GridSpec as _GridSpec  # noqa: E402 (section-local)
+from repro.resilience import (
+    FaultInjector,
+    GuardSuite,
+    InjectedKernelError,
+    SupervisedRun,
+    SupervisionError,
+    truncate_file,
+)
+
+
+def _landau_sim(backend="numpy", n=2000, **cfg_kw):
+    grid = _GridSpec(16, 16, 0.0, 4 * np.pi, 0.0, 4 * np.pi)
+    cfg = OptimizationConfig.fully_optimized().with_(backend=backend, **cfg_kw)
+    return Simulation(grid, LandauDamping(alpha=0.05), n, cfg, dt=0.05, seed=7)
+
+
+def _clean_history(n_steps):
+    with _landau_sim() as sim:
+        sim.run(n_steps)
+        return sim.history
+
+
+class TestGuards:
+    def test_clean_run_passes_default_suite(self):
+        suite = GuardSuite.default()
+        with _landau_sim() as sim:
+            sim.run(3)
+            assert suite.check_now(sim.stepper, sim.history, 3) == []
+
+    def test_finite_guard_flags_nan(self):
+        suite = GuardSuite.from_spec("finite")
+        with _landau_sim() as sim:
+            np.asarray(sim.particles.vx)[5] = np.nan
+            (v,) = suite.check_now(sim.stepper, sim.history, 1)
+            assert v.guard == "finite" and "vx" in v.message
+
+    def test_cells_guard_flags_out_of_range(self):
+        suite = GuardSuite.from_spec("cells")
+        with _landau_sim() as sim:
+            np.asarray(sim.particles.icell)[0] = (
+                sim.stepper.ordering.ncells_allocated + 5
+            )
+            (v,) = suite.check_now(sim.stepper, sim.history, 1)
+            assert v.guard == "cells" and v.value == 1
+
+    def test_charge_guard_flags_lost_deposit(self):
+        suite = GuardSuite.from_spec("charge:1e-8")
+        with _landau_sim() as sim:
+            sim.stepper.rho_grid *= 0.5
+            (v,) = suite.check_now(sim.stepper, sim.history, 1)
+            assert v.guard == "charge" and v.value > v.threshold
+
+    def test_spec_parsing(self):
+        assert GuardSuite.from_spec("none").guards == []
+        assert GuardSuite.from_spec("default").names == (
+            "finite", "cells", "charge",
+        )
+        assert "energy" in GuardSuite.from_spec("all").names
+        suite = GuardSuite.from_spec("charge:1e-4,energy:0.5")
+        assert suite.guards[0].tol == 1e-4
+        assert suite.guards[1].ceiling == 0.5
+        with pytest.raises(ValueError, match="unknown guard"):
+            GuardSuite.from_spec("entropy")
+        with pytest.raises(ValueError, match="no parameter"):
+            GuardSuite.from_spec("finite:3")
+
+    def test_guard_cycle_skips_off_steps(self):
+        suite = GuardSuite.from_spec("finite", every=5)
+        with _landau_sim() as sim:
+            np.asarray(sim.particles.vx)[0] = np.inf
+            assert suite.check(sim.stepper, sim.history, 3) == []
+            assert len(suite.check(sim.stepper, sim.history, 5)) == 1
+
+
+class TestFaultInjector:
+    def test_nan_poison_is_deterministic(self):
+        masks = []
+        for _ in range(2):
+            with _landau_sim() as sim:
+                FaultInjector(seed=42).add_nan(step=0, array="vx", count=6) \
+                    .before_step(sim.stepper, 0)
+                masks.append(np.isnan(np.asarray(sim.particles.vx)).copy())
+        assert masks[0].sum() == 6
+        np.testing.assert_array_equal(masks[0], masks[1])
+
+    def test_kernel_trap_raises_and_delegates(self):
+        inj = FaultInjector().add_kernel_raise(
+            step=2, kernel="update_velocities", once=True,
+        )
+        with _landau_sim() as sim:
+            real = sim.stepper.backend
+            inj.before_step(sim.stepper, 0)  # before the armed step
+            assert sim.stepper.backend is real
+            inj.before_step(sim.stepper, 2)
+            assert sim.stepper.backend is not real
+            assert sim.stepper.backend.name == real.name  # delegation
+            with pytest.raises(InjectedKernelError):
+                sim.stepper.backend.update_velocities(None, None, None, None)
+            # once=True: the next before_step removes the spent trap
+            inj.before_step(sim.stepper, 3)
+            assert sim.stepper.backend is real
+
+    def test_truncate_file(self, tmp_path):
+        p = tmp_path / "blob.bin"
+        p.write_bytes(b"x" * 1000)
+        assert truncate_file(p, fraction=0.5) == 500
+        assert p.stat().st_size == 500
+
+
+class TestSupervisedRun:
+    def test_nan_fault_rolls_back_and_recovers(self):
+        clean = _clean_history(20)
+        inj = FaultInjector(seed=3).add_nan(step=12, array="vx", count=5)
+        with SupervisedRun(
+            _landau_sim(), checkpoint_every=5, injector=inj,
+        ) as sup:
+            h = sup.run(20)
+            assert sup.sim.stepper.iteration == 20
+            assert sup.report.rollbacks >= 1
+            assert sup.report.recoveries == len(sup.report.failures) >= 1
+            assert sup.report.failures[0]["error"] == "GuardTrippedError"
+            # the rolled-back steps re-run bit-identically
+            assert h.field_energy == clean.field_energy
+            assert h.kinetic_energy == clean.kinetic_energy
+
+    def test_no_fault_supervised_is_bitwise_identical(self):
+        clean = _clean_history(15)
+        with SupervisedRun(_landau_sim(), checkpoint_every=4) as sup:
+            h = sup.run(15)
+            assert sup.report.rollbacks == 0 and not sup.report.failures
+            assert h.times == clean.times
+            assert h.field_energy == clean.field_energy
+            assert h.kinetic_energy == clean.kinetic_energy
+            assert h.mode_amplitude == clean.mode_amplitude
+
+    def test_persistent_fault_exhausts_retries_and_raises(self):
+        # numpy is the end of the degradation chain, so a fault that
+        # never clears must surface as SupervisionError, with the
+        # report attached
+        inj = FaultInjector().add_kernel_raise(step=2, once=False)
+        with SupervisedRun(
+            _landau_sim(), checkpoint_every=2, max_retries=2, injector=inj,
+        ) as sup:
+            with pytest.raises(SupervisionError) as ei:
+                sup.run(10)
+            assert ei.value.report is sup.report
+            assert len(sup.report.failures) > 2
+
+    def test_torn_checkpoint_is_discarded_during_rollback(self, tmp_path):
+        clean = _clean_history(10)
+        inj = FaultInjector(seed=1).add_nan(step=5, count=3)
+        with SupervisedRun(
+            _landau_sim(), checkpoint_dir=tmp_path, checkpoint_every=2,
+            keep_checkpoints=5, injector=inj,
+        ) as sup:
+            sup.run(5)  # checkpoints at 0, 2, 4
+            truncate_file(tmp_path / "ckpt-00000004.npz", fraction=0.3)
+            sup.run(5)  # NaN at 5 -> rollback skips the torn archive
+            assert sup.report.checkpoints_discarded >= 1
+            assert sup.report.rollbacks >= 1
+            assert sup.sim.stepper.iteration == 10
+            assert sup.sim.history.field_energy == clean.field_energy
+        # user-supplied rotation dir survives close; no temp litter
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert list(tmp_path.glob("ckpt-*.npz"))
+
+    def test_rotation_keeps_newest_k(self, tmp_path):
+        with SupervisedRun(
+            _landau_sim(), checkpoint_dir=tmp_path, checkpoint_every=2,
+            keep_checkpoints=2,
+        ) as sup:
+            sup.run(10)
+        names = sorted(p.name for p in tmp_path.glob("ckpt-*.npz"))
+        assert names == ["ckpt-00000006.npz", "ckpt-00000008.npz"]
+
+    def test_degrades_numpy_mp_to_numpy(self):
+        clean = _clean_history(12)
+        inj = FaultInjector().add_kernel_raise(
+            step=4, kernel="update_velocities", backend="numpy-mp",
+        )
+        sim = _landau_sim("numpy-mp", workers=2)
+        segs = list(sim.stepper.backend.engine_for(sim.stepper).arena.segment_names)
+        with SupervisedRun(
+            sim, checkpoint_every=3, max_retries=1, injector=inj,
+        ) as sup:
+            h = sup.run(12)
+            assert sup.report.degradations == [
+                {"step": 4, "from": "numpy-mp", "to": "numpy"}
+            ]
+            assert sup.backend_name == "numpy"
+            assert sim.stepper.backend.name == "numpy"
+            assert h.field_energy == clean.field_energy
+        if os.path.isdir("/dev/shm"):
+            left = [s for s in segs if os.path.exists("/dev/shm/" + s)]
+            assert left == [], f"leaked shared-memory segments: {left}"
+
+    def test_report_published_into_timings_json(self):
+        import json
+
+        inj = FaultInjector(seed=2).add_nan(step=3)
+        with SupervisedRun(
+            _landau_sim(), checkpoint_every=2, injector=inj,
+        ) as sup:
+            sup.run(6)
+            rec = json.loads(sup.timings_json())
+            assert rec["supervisor"]["rollbacks"] == sup.report.rollbacks >= 1
+            assert rec["cumulative"]["rollbacks"] >= 1
+
+
+class TestCloseIdempotency:
+    @pytest.mark.parametrize("backend", ["numpy", "numpy-mp"])
+    def test_close_is_idempotent_on_exception_paths(self, backend):
+        kw = {"workers": 2} if backend == "numpy-mp" else {}
+        sim = _landau_sim(backend, **kw)
+        segs = []
+        if backend == "numpy-mp":
+            segs = list(
+                sim.stepper.backend.engine_for(sim.stepper).arena.segment_names
+            )
+        with pytest.raises(RuntimeError, match="boom"):
+            with sim:
+                sim.run(2)
+                raise RuntimeError("boom")
+        sim.close()  # second close: no-op, no raise
+        sim.close()
+        if segs and os.path.isdir("/dev/shm"):
+            left = [s for s in segs if os.path.exists("/dev/shm/" + s)]
+            assert left == [], f"leaked shared-memory segments: {left}"
+
+    def test_supervisor_close_is_idempotent(self, tmp_path):
+        sup = SupervisedRun(_landau_sim(), checkpoint_every=3)
+        sup.run(3)
+        tmp_rotation = sup.rotation.directory
+        sup.close()
+        sup.close()
+        assert not tmp_rotation.exists()  # private temp dir removed

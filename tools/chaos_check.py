@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Chaos gate: run the fault-injection suite and assert nothing leaked.
+
+Runs ``tests/test_robustness.py`` (guards, supervised rollback,
+backend degradation, torn checkpoints, close-on-exception) under a
+fixed seed and a private pytest basetemp, then fails if the run left
+anything behind that a clean recovery must not leave:
+
+* shared-memory segments in ``/dev/shm`` that did not exist before
+  (a leaked ``numpy-mp`` arena);
+* ``*.tmp`` checkpoint siblings anywhere under the basetemp (a
+  non-atomic or un-cleaned checkpoint write).
+
+Exit status 0 only when the suite passes *and* both leak scans come
+back empty.  ``make chaos`` runs this; ``make check`` includes it.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SHM_DIR = pathlib.Path("/dev/shm")
+
+
+def shm_entries() -> set[str]:
+    """Shared-memory segment names (psm_* = multiprocessing default)."""
+    if not SHM_DIR.is_dir():
+        return set()
+    return {p.name for p in SHM_DIR.iterdir() if p.name.startswith("psm_")}
+
+
+def main() -> int:
+    before = shm_entries()
+    basetemp = pathlib.Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["PYTHONHASHSEED"] = "0"
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+             "--basetemp", str(basetemp), "tests/test_robustness.py"],
+            cwd=REPO, env=env,
+        )
+        failures = []
+        if proc.returncode != 0:
+            failures.append(f"fault-injection suite failed (exit "
+                            f"{proc.returncode})")
+        tmp_litter = sorted(
+            str(p.relative_to(basetemp)) for p in basetemp.rglob("*.tmp")
+        )
+        if tmp_litter:
+            failures.append(
+                f"leftover checkpoint temp files: {', '.join(tmp_litter)}"
+            )
+        leaked = sorted(shm_entries() - before)
+        if leaked:
+            failures.append(
+                f"leaked shared-memory segments: {', '.join(leaked)}"
+            )
+        if failures:
+            for f in failures:
+                print(f"chaos check FAILED: {f}", file=sys.stderr)
+            return 1
+        print("chaos check OK: suite green, /dev/shm clean, "
+              "no checkpoint temp litter")
+        return 0
+    finally:
+        shutil.rmtree(basetemp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
