@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-scaling chaos examples results clean docs-check check
+.PHONY: install test bench bench-gate bench-scaling chaos examples results clean docs-check check
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -13,7 +13,7 @@ test:
 docs-check:
 	$(PYTHON) tools/check_links.py
 
-check: docs-check chaos
+check: docs-check chaos bench-gate
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/
 
 # fault-injection suite under a fixed seed, then assert zero leaked
@@ -23,6 +23,12 @@ chaos:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# fused-vs-split performance gate: fails if a fused-capable backend's
+# single-pass kernel is slower than its split rendering; skips cleanly
+# when no fused-capable backend (numba) is installed
+bench-gate:
+	$(PYTHON) tools/bench_gate.py
 
 # quick strong-scaling smoke of the numpy-mp engine (2 workers);
 # the full sweep runs via `pytest benchmarks/bench_shm_scaling.py`

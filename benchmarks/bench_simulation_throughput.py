@@ -7,24 +7,134 @@ configurations.  The optimized configuration must not be slower — in
 numpy the structural wins (SoA views, contiguous redundant rows,
 branchless wraps) are smaller than under a vectorizing C compiler, but
 they point the same way.
+
+Run as a script to record the machine baseline::
+
+    PYTHONPATH=src python benchmarks/bench_simulation_throughput.py \
+        --output BENCH_baseline.json
+
+which measures the split vs fused loop structure on every available
+backend (:func:`measure_loop_modes`) — the numbers
+``tools/bench_gate.py`` gates against.
 """
 
+import argparse
+import json
+import platform
+import sys
+import time
+
 import numpy as np
+
 import pytest
 
 from repro.core import OptimizationConfig, Simulation
 from repro.grid import GridSpec
 from repro.particles import LandauDamping
+from repro.perf.instrument import PARTICLE_PHASES, PHASES
 
 N = 100_000
 STEPS = 5
 
 
-def _make_sim(config):
+def _make_sim(config, n=N):
     grid = GridSpec(64, 16, 0.0, 4 * np.pi, 0.0, 4 * np.pi)
     return Simulation(
-        grid, LandauDamping(alpha=0.05), N, config, dt=0.1, quiet=True, seed=None
+        grid, LandauDamping(alpha=0.05), n, config, dt=0.1, quiet=True, seed=None
     )
+
+
+def measure_loop_modes(backend="numpy", n=N, steps=STEPS, warmup_steps=1):
+    """Split vs fused on one backend: seconds and rates, per phase.
+
+    Each mode gets a fresh simulation; ``warmup_steps`` throwaway steps
+    absorb JIT compilation and first-touch page faults before the
+    measured window.  Returns ``{mode: record}`` with per-phase
+    windowed seconds, particle-steps/s for the particle phases, and the
+    loop path(s) the stepper actually took — JSON-ready.
+    """
+    out = {}
+    for mode in ("split", "fused"):
+        cfg = OptimizationConfig.fully_optimized().with_(
+            backend=backend, loop_mode=mode
+        )
+        sim = _make_sim(cfg, n)
+        try:
+            if warmup_steps:
+                sim.run(warmup_steps)
+            t = sim.timings
+            before = {p: getattr(t, p) for p in PHASES}
+            total0, kernel0 = t.total, t.kernel_total
+            wall0 = time.perf_counter()
+            sim.run(steps)
+            wall = time.perf_counter() - wall0
+            t = sim.timings
+            phase_seconds = {p: getattr(t, p) - before[p] for p in PHASES}
+            out[mode] = {
+                "backend": backend,
+                "mode": mode,
+                "particles": n,
+                "steps": steps,
+                "wall_seconds": wall,
+                "seconds_per_step": (t.total - total0) / steps,
+                "kernel_seconds_per_step": (t.kernel_total - kernel0) / steps,
+                "particles_per_second": n * steps / wall,
+                "phase_seconds": phase_seconds,
+                "phase_particles_per_second": {
+                    p: (n * steps / s if (s := phase_seconds[p]) > 0 else 0.0)
+                    for p in PARTICLE_PHASES
+                },
+                "loop_paths": dict(t.loop_paths),
+            }
+        finally:
+            sim.close()
+    return out
+
+
+def main(argv=None):
+    """Record split-vs-fused throughput for every available backend."""
+    from repro.core.backends import available_backends
+
+    ap = argparse.ArgumentParser(description=main.__doc__)
+    ap.add_argument("--particles", type=int, default=200_000)
+    ap.add_argument("--steps", type=int, default=4)
+    ap.add_argument("--warmup-steps", type=int, default=1)
+    ap.add_argument("--backends", nargs="*", default=None,
+                    help="backend names (default: all available)")
+    ap.add_argument("--output", default="BENCH_baseline.json")
+    args = ap.parse_args(argv)
+
+    backends = args.backends or [
+        b for b in available_backends() if b != "numpy-mp"
+    ]
+    results = {}
+    for backend in backends:
+        print(f"measuring {backend} (split vs fused, "
+              f"n={args.particles}, steps={args.steps}) ...", flush=True)
+        results[backend] = measure_loop_modes(
+            backend, args.particles, args.steps, args.warmup_steps
+        )
+        for mode, rec in results[backend].items():
+            print(f"  {mode:6s}: {rec['particles_per_second'] / 1e6:7.2f} M "
+                  f"particle-steps/s  (paths: {rec['loop_paths']})")
+
+    doc = {
+        "meta": {
+            "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "grid": [64, 16],
+            "particles": args.particles,
+            "steps": args.steps,
+        },
+        "results": results,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
 
 
 @pytest.mark.parametrize(
@@ -98,3 +208,7 @@ def test_supervision_overhead_under_ten_percent():
         f"supervision overhead {supervised / plain - 1:.1%} exceeds 10% "
         f"({supervised:.3f}s vs {plain:.3f}s)"
     )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,6 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="kernel execution backend (default: auto-select; "
                      "numpy-mp fans the particle loops out over worker "
                      "processes)")
+    run.add_argument("--loop-mode", choices=("split", "fused"),
+                     default="split",
+                     help="particle-loop structure: 'split' runs three "
+                     "whole-array passes; 'fused' runs one pass — a "
+                     "single-pass kernel on backends with the 'fused' "
+                     "capability, cache-chunked split kernels elsewhere")
     run.add_argument("--workers", type=int, default=None, metavar="N",
                      help="worker-process count for --backend numpy-mp "
                      "(default: cpu count)")
@@ -142,7 +148,7 @@ def _cmd_run(args) -> int:
     cfg = OptimizationConfig.fully_optimized(args.ordering)
     if args.ordering == "hilbert":
         cfg = cfg.with_(position_update="modulo")
-    cfg = cfg.with_(backend=args.backend)
+    cfg = cfg.with_(backend=args.backend, loop_mode=args.loop_mode)
     if args.workers is not None:
         cfg = cfg.with_(workers=args.workers)
     if args.mp_timeout is not None:

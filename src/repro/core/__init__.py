@@ -15,7 +15,14 @@ Public entry points:
 * :mod:`~repro.core.diagnostics` — energies, mode amplitudes, rate fits.
 """
 
-from repro.core.autotune import SortPeriodAutoTuner, TuneResult, tune_sort_period_model
+from repro.core.autotune import (
+    LoopModeAutoTuner,
+    LoopModeResult,
+    SortPeriodAutoTuner,
+    TuneResult,
+    tune_loop_mode,
+    tune_sort_period_model,
+)
 from repro.core.backends import (
     BackendUnavailableError,
     KernelBackend,
@@ -60,6 +67,9 @@ __all__ = [
     "SortPeriodAutoTuner",
     "TuneResult",
     "tune_sort_period_model",
+    "LoopModeAutoTuner",
+    "LoopModeResult",
+    "tune_loop_mode",
     "push_positions_reflecting",
     "push_positions_absorbing",
     "compact_particles",

@@ -16,6 +16,12 @@ for future work."  — implemented here, twice:
   wrap a live stepper, measuring iteration costs at candidate periods
   and keeping the argmin; works against wall-clock or any cost
   callback, so it ports to a real machine unchanged.
+
+The same empirical treatment applies to the other architecture-
+dependent knob, §IV-B's fused-vs-split loop structure — a C compiler
+rewards splitting, a JIT backend's single-pass kernel rewards fusing —
+via :class:`LoopModeAutoTuner` (online) and :func:`tune_loop_mode`
+(offline A/B on fresh steppers).
 """
 
 from __future__ import annotations
@@ -30,7 +36,14 @@ if TYPE_CHECKING:  # imported lazily at runtime: repro.perf imports
     # repro.core.config, so a module-level import here would be circular
     from repro.perf.costmodel import LoopCostModel, LoopKind
 
-__all__ = ["tune_sort_period_model", "SortPeriodAutoTuner", "TuneResult"]
+__all__ = [
+    "tune_sort_period_model",
+    "SortPeriodAutoTuner",
+    "TuneResult",
+    "LoopModeAutoTuner",
+    "LoopModeResult",
+    "tune_loop_mode",
+]
 
 
 @dataclass(frozen=True)
@@ -152,3 +165,129 @@ class SortPeriodAutoTuner:
             raise RuntimeError("no completed trials yet")
         best = min(avg, key=avg.get)
         return TuneResult(int(best), avg)
+
+
+# ----------------------------------------------------------------------
+# Fused-vs-split loop-mode tuning
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LoopModeResult:
+    """Outcome of a fused-vs-split tuning run."""
+
+    best_mode: str
+    #: mapping mode -> measured (or modeled) cost per iteration
+    costs: dict
+
+    def cost_of(self, mode: str) -> float:
+        return self.costs[mode]
+
+    def speedup(self) -> float:
+        """Cost ratio worst/best (1.0 when the modes tie)."""
+        worst = max(self.costs.values())
+        best = self.costs[self.best_mode]
+        return worst / best if best > 0 else float("inf")
+
+
+@dataclass
+class LoopModeAutoTuner:
+    """Online fused-vs-split search over a live cost signal.
+
+    The §IV-B trade is architecture-dependent: splitting wins under a
+    vectorizing C compiler, fusing wins when the split passes re-stream
+    the particle arrays from DRAM (the JIT backend's single-pass
+    kernel).  Rather than hard-coding the winner, trial both::
+
+        tuner = LoopModeAutoTuner()
+        while not tuner.finished:
+            stepper.config = stepper.config.with_(loop_mode=tuner.mode)
+            cost = measure_iteration(stepper)   # e.g. kernel seconds
+            tuner.record(cost)
+        stepper.config = stepper.config.with_(loop_mode=tuner.mode)
+
+    Same exhaustive-trial skeleton as :class:`SortPeriodAutoTuner`:
+    the candidate set has two entries and a PIC run has millions of
+    iterations to amortize the search.
+    """
+
+    candidates: tuple = ("fused", "split")
+    trial_iterations: int = 30
+    _index: int = 0
+    _count: int = 0
+    _sums: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.candidates:
+            raise ValueError("need at least one candidate loop mode")
+        for mode in self.candidates:
+            if mode not in ("fused", "split"):
+                raise ValueError(f"unknown loop mode {mode!r}")
+        if self.trial_iterations <= 0:
+            raise ValueError("trial_iterations must be positive")
+
+    @property
+    def mode(self) -> str:
+        """The loop mode to use for the current iteration."""
+        if self.finished:
+            return self.result().best_mode
+        return str(self.candidates[self._index])
+
+    @property
+    def finished(self) -> bool:
+        return self._index >= len(self.candidates)
+
+    def record(self, iteration_cost: float) -> None:
+        """Report the cost of one iteration run at :attr:`mode`."""
+        if self.finished:
+            return
+        key = self.candidates[self._index]
+        self._sums[key] = self._sums.get(key, 0.0) + float(iteration_cost)
+        self._count += 1
+        if self._count >= self.trial_iterations:
+            self._count = 0
+            self._index += 1
+
+    def result(self) -> LoopModeResult:
+        """Best mode found so far (all completed trials)."""
+        if not self._sums:
+            raise RuntimeError("no trials recorded yet")
+        avg = {k: v / self.trial_iterations for k, v in self._sums.items()}
+        if not self.finished:
+            avg.pop(self.candidates[self._index], None)
+        if not avg:
+            raise RuntimeError("no completed trials yet")
+        best = min(avg, key=avg.get)
+        return LoopModeResult(str(best), avg)
+
+
+def tune_loop_mode(
+    stepper_factory,
+    base_config: OptimizationConfig,
+    candidates: tuple = ("fused", "split"),
+    steps: int = 5,
+    warmup_steps: int = 1,
+) -> LoopModeResult:
+    """Measure fused vs split on live steppers and return the winner.
+
+    ``stepper_factory(config)`` must build a fresh stepper-like object
+    (``.run(n)``, ``.timings``, ``.close()``) for the given config —
+    each candidate gets its own instance so JIT warm-up and sort state
+    don't bleed between trials.  The cost signal is
+    :attr:`~repro.perf.instrument.StepTimings.kernel_total` per step
+    (the particle loops — the only phases the mode changes), measured
+    after ``warmup_steps`` throwaway steps that absorb compilation.
+    """
+    if steps <= 0:
+        raise ValueError("steps must be positive")
+    costs: dict = {}
+    for mode in candidates:
+        stepper = stepper_factory(base_config.with_(loop_mode=mode))
+        try:
+            if warmup_steps:
+                stepper.run(warmup_steps)
+            before = stepper.timings.kernel_total
+            stepper.run(steps)
+            costs[mode] = (stepper.timings.kernel_total - before) / steps
+        finally:
+            stepper.close()
+    best = min(costs, key=costs.get)
+    return LoopModeResult(str(best), costs)

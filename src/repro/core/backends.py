@@ -109,11 +109,30 @@ class KernelBackend(abc.ABC):
     #: at selection time, ``degrades_to`` encodes which simpler engine
     #: can take over mid-run with identical physics.
     degrades_to: str | None = None
+    #: Optional fast paths this backend implements beyond the required
+    #: kernel surface.  Known capability names:
+    #:
+    #: * ``"fused"`` — :meth:`fused_interp_kick_push`, the single-pass
+    #:   interpolate+kick+push kernel (no ``ex_p``/``ey_p`` temporaries);
+    #: * ``"parallel_deposit"`` — :meth:`accumulate_redundant_parallel`,
+    #:   the §V-B private-copies + reduction deposit, bitwise equal to
+    #:   the serial one at any thread count;
+    #: * ``"counting_sort"`` — a backend-native
+    #:   :meth:`counting_sort_permutation` (compiled cursor loop rather
+    #:   than the SciPy scatter).
+    #:
+    #: The stepper dispatches on these (``supports("fused")`` selects
+    #: the fused loop path); physics must be identical either way.
+    capabilities: frozenset[str] = frozenset()
 
     @classmethod
     def is_available(cls) -> bool:
         """Whether this backend's dependencies are importable."""
         return True
+
+    def supports(self, capability: str) -> bool:
+        """Whether this backend offers the named optional fast path."""
+        return capability in self.capabilities
 
     # ------------------------------------------------------------------
     # 2D kernels
@@ -156,6 +175,56 @@ class KernelBackend(abc.ABC):
     @abc.abstractmethod
     def interpolate_redundant_3d(self, e_1d, icell, dx, dy, dz):
         """Gather ``(ex, ey, ez)`` from the 24-column redundant rows."""
+
+    # ------------------------------------------------------------------
+    # Optional fast paths (advertised through ``capabilities``)
+    # ------------------------------------------------------------------
+    def fused_interp_kick_push(
+        self,
+        fields,
+        particles,
+        ordering,
+        variant,
+        coef_x=1.0,
+        coef_y=1.0,
+        scale_x=1.0,
+        scale_y=1.0,
+    ) -> None:
+        """Single-pass interpolate + kick + push over all particles.
+
+        Semantically identical to running ``interpolate`` +
+        ``update_velocities`` + ``push_positions`` back to back, but in
+        one sweep of the particle arrays with no per-particle field
+        temporaries.  Only callable on backends advertising the
+        ``"fused"`` capability.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} does not offer the 'fused' capability"
+        )
+
+    def accumulate_redundant_parallel(self, rho_1d, icell, dx, dy, charge=1.0) -> None:
+        """Thread-parallel CiC scatter (private copies + reduction).
+
+        Must be bitwise equal to :meth:`accumulate_redundant` for any
+        thread count.  Only callable on backends advertising the
+        ``"parallel_deposit"`` capability.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} does not offer the 'parallel_deposit' capability"
+        )
+
+    def counting_sort_permutation(self, keys, ncells):
+        """Stable O(N + C) counting-sort permutation of ``keys``.
+
+        Default: the vectorized histogram+prefix-sum+scatter from
+        :mod:`repro.particles.sorting`.  Backends advertising
+        ``"counting_sort"`` substitute a native (compiled) scatter; the
+        permutation must be identical either way (stability fixes it
+        uniquely).
+        """
+        from repro.particles.sorting import counting_sort_permutation
+
+        return counting_sort_permutation(keys, ncells)
 
     # ------------------------------------------------------------------
     # Shared position-update drivers (axis math per backend, cell
@@ -411,6 +480,7 @@ class NumbaBackend(KernelBackend):
     name = "numba"
     priority = 20
     degrades_to = "numpy-mp"
+    capabilities = frozenset({"fused", "parallel_deposit", "counting_sort"})
 
     @classmethod
     def is_available(cls) -> bool:
@@ -472,8 +542,16 @@ class NumbaBackend(KernelBackend):
         return ex_p, ey_p
 
     def update_velocities(self, vx, vy, ex_p, ey_p, coef_x=1.0, coef_y=1.0):
-        self._jit.update_velocities_njit(vx, ex_p, float(coef_x))
-        self._jit.update_velocities_njit(vy, ey_p, float(coef_y))
+        # array-valued coefficients (per-particle q/m) broadcast through
+        # numpy; the njit scalar kernel covers the hot scalar case
+        if np.ndim(coef_x) == 0:
+            self._jit.update_velocities_njit(vx, ex_p, float(coef_x))
+        else:
+            vx += coef_x * ex_p
+        if np.ndim(coef_y) == 0:
+            self._jit.update_velocities_njit(vy, ey_p, float(coef_y))
+        else:
+            vy += coef_y * ey_p
 
     def push_axis(self, x, nc, variant):
         x = np.ascontiguousarray(x, dtype=np.float64)
@@ -492,6 +570,80 @@ class NumbaBackend(KernelBackend):
         else:
             raise KeyError(f"unknown position-update variant {variant!r}")
         return i_out, d_out
+
+    # -- optional fast paths -------------------------------------------
+    def fused_interp_kick_push(
+        self,
+        fields,
+        particles,
+        ordering,
+        variant,
+        coef_x=1.0,
+        coef_y=1.0,
+        scale_x=1.0,
+        scale_y=1.0,
+    ):
+        if np.ndim(coef_x) or np.ndim(coef_y):
+            raise ValueError("fused path requires scalar kick coefficients")
+        if variant not in self._jit.VARIANT_CODES:
+            raise KeyError(f"unknown position-update variant {variant!r}")
+        g = fields.grid
+        ncx, ncy = g.ncx, g.ncy
+        if variant == "bitwise" and ((ncx & (ncx - 1)) or (ncy & (ncy - 1))):
+            raise ValueError(
+                f"bitwise wrap requires power-of-two extents, got {ncx} x {ncy}"
+            )
+        p = particles
+        n = len(np.asarray(p.icell))
+        if p.store_coords:
+            ix_old = np.ascontiguousarray(p.ix, dtype=np.int64)
+            iy_old = np.ascontiguousarray(p.iy, dtype=np.int64)
+        else:
+            ix_dec, iy_dec = ordering.decode(np.asarray(p.icell))
+            ix_old = np.ascontiguousarray(ix_dec, dtype=np.int64)
+            iy_old = np.ascontiguousarray(iy_dec, dtype=np.int64)
+        ix_out = np.empty(n, dtype=np.int64)
+        iy_out = np.empty(n, dtype=np.int64)
+        code = self._jit.VARIANT_CODES[variant]
+        # dx/dy/vx/vy are read *and written* in place: pass the storage
+        # views directly (njit handles strided AoS views; a contiguous
+        # copy would silently drop the writes)
+        if fields.layout == "redundant":
+            self._jit.fused_redundant_njit(
+                np.ascontiguousarray(fields.e_1d, dtype=np.float64),
+                np.ascontiguousarray(p.icell, dtype=np.int64),
+                ix_old, iy_old, p.dx, p.dy, p.vx, p.vy,
+                float(coef_x), float(coef_y), float(scale_x), float(scale_y),
+                ncx, ncy, code, ix_out, iy_out,
+            )
+        else:
+            self._jit.fused_standard_njit(
+                np.ascontiguousarray(fields.ex, dtype=np.float64),
+                np.ascontiguousarray(fields.ey, dtype=np.float64),
+                ix_old, iy_old, p.dx, p.dy, p.vx, p.vy,
+                float(coef_x), float(coef_y), float(scale_x), float(scale_y),
+                code, ix_out, iy_out,
+            )
+        # the space-filling-curve encode is vectorized Python: outside njit
+        p.icell[:] = ordering.encode(ix_out, iy_out)
+        if p.store_coords:
+            p.ix[:] = ix_out
+            p.iy[:] = iy_out
+
+    def accumulate_redundant_parallel(self, rho_1d, icell, dx, dy, charge=1.0):
+        self._jit.accumulate_redundant_parallel_njit(
+            rho_1d,
+            np.ascontiguousarray(icell, dtype=np.int64),
+            np.ascontiguousarray(dx, dtype=np.float64),
+            np.ascontiguousarray(dy, dtype=np.float64),
+            float(charge),
+        )
+
+    def counting_sort_permutation(self, keys, ncells):
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        if keys.size and (keys.min() < 0 or keys.max() >= ncells):
+            raise ValueError("keys out of range [0, ncells)")
+        return self._jit.counting_sort_permutation_njit(keys, int(ncells))
 
     # -- 3D ------------------------------------------------------------
     def accumulate_redundant_3d(self, rho_1d, icell, dx, dy, dz, charge=1.0):

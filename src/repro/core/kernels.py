@@ -59,11 +59,18 @@ def accumulate_redundant(rho_1d, icell, dx, dy, charge=1.0):
     vectorizable lower variant of Fig. 2.  No periodic wrap is needed
     here; the fold to grid points happens in
     :meth:`~repro.grid.fields.RedundantFields.reduce_rho_to_grid`.
+
+    One bincount per corner keeps the transient footprint at one
+    ``(N,)`` index array (reused across corners) instead of a
+    materialized ``(N, 4)`` flat-index block; each flat bin still
+    receives exactly its own corner's contributions in particle order,
+    so the result is bitwise what the single fused bincount produced.
     """
     w = corner_weights(dx, dy) * charge  # (N, 4)
-    flat_idx = (np.asarray(icell, dtype=np.int64)[:, None] * 4) + np.arange(4)
+    base = np.asarray(icell, dtype=np.int64) * 4
     flat = rho_1d.reshape(-1)
-    flat += np.bincount(flat_idx.ravel(), weights=w.ravel(), minlength=flat.size)
+    for c in range(4):
+        flat += np.bincount(base + c, weights=w[:, c], minlength=flat.size)
 
 
 # ----------------------------------------------------------------------
@@ -111,13 +118,16 @@ def update_velocities(vx, vy, ex_p, ey_p, coef_x=1.0, coef_y=1.0):
     With hoisting the field arrives pre-scaled and ``coef`` is 1.0 —
     the loop body is a bare fused add; without hoisting ``coef`` is
     ``q*dt/m`` (times ``dt/spacing`` when positions are advanced in
-    grid units), multiplied per particle per step.
+    grid units), multiplied per particle per step.  ``coef_*`` may be
+    scalar or an array broadcastable against the velocities (per-
+    particle charge-to-mass ratios); the multiply-free fast path only
+    applies to the scalar 1.0.
     """
-    if coef_x == 1.0:
+    if np.ndim(coef_x) == 0 and coef_x == 1.0:
         vx += ex_p
     else:
         vx += coef_x * ex_p
-    if coef_y == 1.0:
+    if np.ndim(coef_y) == 0 and coef_y == 1.0:
         vy += ey_p
     else:
         vy += coef_y * ey_p

@@ -11,10 +11,16 @@ equivalence suite can hold every backend to the same oracle:
 
 * gathers (interpolate) and per-axis position wraps are embarrassingly
   parallel and use ``prange``;
-* scatters (accumulate) race on the target array, so they run as plain
-  serial loops — exactly the paper's single-thread inner loop; thread
-  parallelism in the paper comes from private copies at a higher level
-  (see :mod:`repro.parallel.openmp`), not from the scatter itself.
+* the plain scatters (accumulate) race on the target array, so they
+  run as serial loops — exactly the paper's single-thread inner loop;
+* the *parallel* deposit resolves the race the paper's §V-B way —
+  per-thread private ``rho[nthreads][ncell][4]`` copies + reduction —
+  with cell ownership added so the result is bitwise identical to the
+  serial deposit at any thread count
+  (:func:`accumulate_redundant_parallel_njit`);
+* the fused kernels (:func:`fused_redundant_njit`,
+  :func:`fused_standard_njit`) run interpolate -> kick -> push in one
+  ``prange`` pass, bitwise-matching the split kernels.
 
 All kernels write into caller-allocated output arrays (the backend
 wrapper owns allocation and dtype normalization).
@@ -23,7 +29,7 @@ wrapper owns allocation and dtype normalization).
 from __future__ import annotations
 
 import numpy as np
-from numba import njit, prange
+from numba import get_num_threads, njit, prange
 
 __all__ = [
     "accumulate_standard_njit",
@@ -36,6 +42,12 @@ __all__ = [
     "axis_bitwise_njit",
     "accumulate_redundant_3d_njit",
     "interpolate_redundant_3d_njit",
+    "VARIANT_CODES",
+    "fused_redundant_njit",
+    "fused_standard_njit",
+    "accumulate_redundant_parallel_njit",
+    "accumulate_redundant_shard_njit",
+    "counting_sort_permutation_njit",
 ]
 
 # `cache=True` persists compiled machine code next to the source so the
@@ -163,6 +175,236 @@ def axis_bitwise_njit(x, nc, i_out, d_out):
             fx -= 1
         i_out[p] = fx & mask
         d_out[p] = xv - fx
+
+
+# ----------------------------------------------------------------------
+# Fused single-pass loop (interpolate -> kick -> push)
+#
+# The paper's §IV-B *splits* the loops so a C compiler can vectorize
+# each one; under a JIT the economics invert — three split passes
+# re-stream the particle arrays from DRAM, while one fused pass reads
+# and writes every particle record exactly once and keeps ex_p/ey_p in
+# registers instead of N-sized temporaries.  Arithmetic order matches
+# the split NumPy kernels term for term (weights as w*...*charge-last
+# products, sums left-associated, the same three §IV-C wrap
+# formulations), so the fused path is bitwise-identical to running the
+# split path — the equivalence suite holds it to that standard.
+# ----------------------------------------------------------------------
+
+#: position-update variant -> integer code understood by the fused
+#: kernels (numba specializes the branch away after inlining)
+VARIANT_CODES = {"branch": 0, "modulo": 1, "bitwise": 2}
+
+
+@njit(**_JIT)
+def _wrap_axis(xv, nc, variant):
+    """One coordinate through the §IV-C wrap selected by ``variant``.
+
+    Scalar twin of the ``axis_*_njit`` kernels above (and of the NumPy
+    ``AXIS_KERNELS``); returns ``(icoord, offset)``.
+    """
+    if variant == 0:  # branch: test-and-wrap
+        if xv < 0.0 or xv >= nc:
+            xv = xv % nc
+        fx = np.floor(xv)
+        i = np.int64(fx)
+        if i == nc:  # float modulo can round up to exactly nc
+            return np.int64(0), 0.0
+        return i, xv - fx
+    elif variant == 1:  # modulo: unconditional
+        fx = np.floor(xv)
+        return np.int64(fx) % nc, xv - fx
+    else:  # bitwise: cast-floor + and-mask (power-of-two nc)
+        fx = np.int64(xv)  # cast truncates toward zero
+        if xv < 0.0:
+            fx -= 1
+        return fx & (nc - 1), xv - fx
+
+
+@njit(parallel=True, **_JIT)
+def fused_redundant_njit(
+    e_1d, icell, ix_old, iy_old, dx, dy, vx, vy,
+    coef_x, coef_y, scale_x, scale_y, ncx, ncy, variant, ix_out, iy_out,
+):
+    """Interpolate + kick + push, one pass, redundant field layout.
+
+    Reads the 8-value field row, kicks the velocity, advances and wraps
+    the position — all while the particle record is hot.  Writes the
+    new offsets/velocities in place and the new integer coordinates to
+    ``ix_out``/``iy_out``; the caller re-encodes ``icell`` (the curve
+    encode is vectorized Python and must stay outside ``@njit``).
+    """
+    for p in prange(icell.size):
+        c = icell[p]
+        fx = dx[p]
+        fy = dy[p]
+        w00 = (1.0 - fx) * (1.0 - fy)
+        w01 = (1.0 - fx) * fy
+        w10 = fx * (1.0 - fy)
+        w11 = fx * fy
+        ex_p = (
+            w00 * e_1d[c, 0] + w01 * e_1d[c, 1] + w10 * e_1d[c, 2] + w11 * e_1d[c, 3]
+        )
+        ey_p = (
+            w00 * e_1d[c, 4] + w01 * e_1d[c, 5] + w10 * e_1d[c, 6] + w11 * e_1d[c, 7]
+        )
+        if coef_x == 1.0:
+            v_x = vx[p] + ex_p
+        else:
+            v_x = vx[p] + coef_x * ex_p
+        if coef_y == 1.0:
+            v_y = vy[p] + ey_p
+        else:
+            v_y = vy[p] + coef_y * ey_p
+        vx[p] = v_x
+        vy[p] = v_y
+        x = ix_old[p] + fx + scale_x * v_x
+        y = iy_old[p] + fy + scale_y * v_y
+        i, d = _wrap_axis(x, ncx, variant)
+        j, e = _wrap_axis(y, ncy, variant)
+        ix_out[p] = i
+        iy_out[p] = j
+        dx[p] = d
+        dy[p] = e
+
+
+@njit(parallel=True, **_JIT)
+def fused_standard_njit(
+    ex, ey, ix_old, iy_old, dx, dy, vx, vy,
+    coef_x, coef_y, scale_x, scale_y, variant, ix_out, iy_out,
+):
+    """Fused pass over the point-based field layout (wrapped gathers)."""
+    ncx, ncy = ex.shape
+    for p in prange(ix_old.size):
+        i0 = ix_old[p]
+        j0 = iy_old[p]
+        fx = dx[p]
+        fy = dy[p]
+        ip = (i0 + 1) % ncx
+        jp = (j0 + 1) % ncy
+        w00 = (1.0 - fx) * (1.0 - fy)
+        w01 = (1.0 - fx) * fy
+        w10 = fx * (1.0 - fy)
+        w11 = fx * fy
+        ex_p = (
+            w00 * ex[i0, j0] + w01 * ex[i0, jp] + w10 * ex[ip, j0] + w11 * ex[ip, jp]
+        )
+        ey_p = (
+            w00 * ey[i0, j0] + w01 * ey[i0, jp] + w10 * ey[ip, j0] + w11 * ey[ip, jp]
+        )
+        if coef_x == 1.0:
+            v_x = vx[p] + ex_p
+        else:
+            v_x = vx[p] + coef_x * ex_p
+        if coef_y == 1.0:
+            v_y = vy[p] + ey_p
+        else:
+            v_y = vy[p] + coef_y * ey_p
+        vx[p] = v_x
+        vy[p] = v_y
+        x = i0 + fx + scale_x * v_x
+        y = j0 + fy + scale_y * v_y
+        i, d = _wrap_axis(x, ncx, variant)
+        j, e = _wrap_axis(y, ncy, variant)
+        ix_out[p] = i
+        iy_out[p] = j
+        dx[p] = d
+        dy[p] = e
+
+
+# ----------------------------------------------------------------------
+# Thread-parallel deposit — §V-B private copies + reduction, made
+# bitwise-deterministic by cell ownership
+# ----------------------------------------------------------------------
+@njit(parallel=True, **_JIT)
+def accumulate_redundant_parallel_njit(rho_1d, icell, dx, dy, charge):
+    """Parallel CiC scatter via private ``rho[nthreads][ncell][4]`` copies.
+
+    §V-B's racing-free scheme with one twist that buys bitwise
+    determinism: instead of splitting the *particles* (whose reduction
+    re-associates each bin's sum at thread boundaries), every thread
+    owns a contiguous *cell* range, scans the whole particle array, and
+    deposits only the particles it owns into its private copy.  Within
+    a bin the contributions then arrive in particle order — the order
+    the serial deposit sums them — and the reduction touches disjoint
+    rows, so the result is bitwise equal to the serial NumPy deposit
+    and invariant to the thread count.  The price is ``nthreads``
+    concurrent read passes over ``icell``; the weight arithmetic
+    (``w * charge``, products left-associated) matches
+    :func:`repro.core.kernels.accumulate_redundant` exactly.
+    """
+    nthreads = get_num_threads()
+    ncell = rho_1d.shape[0]
+    priv = np.zeros((nthreads, ncell, 4), dtype=np.float64)
+    for t in prange(nthreads):
+        lo = t * ncell // nthreads
+        hi = (t + 1) * ncell // nthreads
+        for p in range(icell.size):
+            c = icell[p]
+            if lo <= c < hi:
+                fx = dx[p]
+                fy = dy[p]
+                priv[t, c, 0] += ((1.0 - fx) * (1.0 - fy)) * charge
+                priv[t, c, 1] += ((1.0 - fx) * fy) * charge
+                priv[t, c, 2] += (fx * (1.0 - fy)) * charge
+                priv[t, c, 3] += (fx * fy) * charge
+        # reduce this thread's owned rows — disjoint across threads, so
+        # the reduction needs no ordering and stays inside the region
+        for c in range(lo, hi):
+            for k in range(4):
+                rho_1d[c, k] += priv[t, c, k]
+
+
+@njit(**_JIT)
+def accumulate_redundant_shard_njit(rho_1d, icell, dx, dy, charge, cell_lo, cell_hi):
+    """Serial deposit of one owned cell range ``[cell_lo, cell_hi)``.
+
+    The ``numpy-mp`` worker's inner loop: scans all particles, deposits
+    the owned ones into the shard slab (rows shifted by ``cell_lo``).
+    Same arithmetic as the NumPy shard deposit (``w * charge``,
+    particle order), so a pool mixing njit and NumPy workers — or
+    retrying a crashed shard serially in the parent — stays bitwise
+    reproducible; unlike the NumPy version it needs no ``flatnonzero``
+    index temporary.
+    """
+    for p in range(icell.size):
+        c = icell[p]
+        if cell_lo <= c < cell_hi:
+            r = c - cell_lo
+            fx = dx[p]
+            fy = dy[p]
+            rho_1d[r, 0] += ((1.0 - fx) * (1.0 - fy)) * charge
+            rho_1d[r, 1] += ((1.0 - fx) * fy) * charge
+            rho_1d[r, 2] += (fx * (1.0 - fy)) * charge
+            rho_1d[r, 3] += (fx * fy) * charge
+
+
+# ----------------------------------------------------------------------
+# §IV-E counting sort — the O(N + C) cursor loop, compiled
+# ----------------------------------------------------------------------
+@njit(**_JIT)
+def counting_sort_permutation_njit(keys, ncells):
+    """Histogram + exclusive prefix sum + stable scatter, O(N + C).
+
+    Compiled twin of
+    :func:`repro.particles.sorting.counting_sort_permutation_reference`;
+    produces the identical (stable) permutation, so backends can swap
+    it in for the SciPy scatter without changing results.
+    """
+    counts = np.zeros(ncells, dtype=np.int64)
+    for p in range(keys.size):
+        counts[keys[p]] += 1
+    cursor = np.empty(ncells, dtype=np.int64)
+    acc = np.int64(0)
+    for c in range(ncells):
+        cursor[c] = acc
+        acc += counts[c]
+    perm = np.empty(keys.size, dtype=np.int64)
+    for p in range(keys.size):
+        k = keys[p]
+        perm[cursor[k]] = p
+        cursor[k] += 1
+    return perm
 
 
 # ----------------------------------------------------------------------

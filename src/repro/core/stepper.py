@@ -7,10 +7,14 @@ solver, and advances the coupled system one time step at a time:
     sort (periodically) -> reset rho -> particle loops -> Poisson solve
 
 The particle loops run either *split* (three full passes: update-v,
-update-x, accumulate — §IV-A) or *fused* (one pass over particle
-chunks doing all three steps — the baseline).  Both produce identical
-physics; they differ in memory behaviour, which the perf substrate
-prices.
+update-x, accumulate — §IV-A) or *fused* (all three steps in one pass
+over the particles — the baseline).  Fused has two renderings, picked
+by :meth:`PICStepper._select_loop_path`: backends advertising the
+``fused`` capability run a true single-pass interpolate+kick+push
+kernel with the deposit following (``fused-backend``); others run the
+split kernels chunk by cache-sized chunk (``fused-chunked``).  All
+paths produce identical physics; they differ in memory behaviour,
+which the perf substrate prices and the instrumentation records.
 
 Unit conventions
 ----------------
@@ -282,6 +286,15 @@ class PICStepper:
     def _phase_accumulate(self, sl: slice | None = None) -> None:
         p = self.particles if sl is None else _ChunkView(self.particles, sl)
         if self.fields.layout == "redundant":
+            # full-array deposits go thread-parallel when offered (the
+            # cell-ownership scheme is bitwise-equal to the serial
+            # kernel); chunked (sl) deposits stay serial — per-chunk
+            # thread fan-out would cost more than the scatter itself
+            if sl is None and self.backend.supports("parallel_deposit"):
+                self.backend.accumulate_redundant_parallel(
+                    self.fields.rho_1d, p.icell, p.dx, p.dy, self._charge_factor
+                )
+                return
             self.backend.accumulate_redundant(
                 self.fields.rho_1d, p.icell, p.dx, p.dy, self._charge_factor
             )
@@ -296,14 +309,55 @@ class PICStepper:
 
     def _phase_sort(self) -> None:
         ncells = self.ordering.ncells_allocated
+        # the permutation build routes through the backend: same stable
+        # counting sort, compiled cursor loop on backends that have one
+        perm_fn = self.backend.counting_sort_permutation
         if self.config.sort_variant == "in-place":
-            sort_in_place(self.particles, ncells)
+            sort_in_place(self.particles, ncells, perm_fn=perm_fn)
             return
         if self._sort_buffer is None:
             self._sort_buffer = self.particles.clone_empty()
-        sorted_parts = sort_out_of_place(self.particles, ncells, self._sort_buffer)
+        sorted_parts = sort_out_of_place(
+            self.particles, ncells, self._sort_buffer, perm_fn=perm_fn
+        )
         self._sort_buffer = self.particles
         self.particles = sorted_parts
+
+    def _phase_fused(self) -> None:
+        """Single-pass interpolate + kick + push through the backend."""
+        cvx, cvy = self._update_v_coef()
+        if self.config.hoisting:
+            sx = sy = 1.0
+        else:
+            sx, sy = self.dt / self.grid.dx, self.dt / self.grid.dy
+        self.backend.fused_interp_kick_push(
+            self.fields,
+            self.particles,
+            self.ordering,
+            self.config.position_update,
+            cvx,
+            cvy,
+            sx,
+            sy,
+        )
+
+    def _select_loop_path(self) -> str:
+        """Which particle-loop path this step will run.
+
+        * ``"split"`` — three whole-array passes (§IV-A/B);
+        * ``"fused-backend"`` — the backend's single-pass
+          interpolate+kick+push kernel (``loop_mode="fused"`` on a
+          backend advertising the ``fused`` capability);
+        * ``"fused-chunked"`` — the chunked rendering of fusion for
+          backends without a native fused kernel: the split kernels run
+          per cache-sized chunk so the chunk stays resident between
+          sub-loop passes.
+        """
+        if self.config.loop_mode == "split":
+            return "split"
+        if self.backend.supports("fused"):
+            return "fused-backend"
+        return "fused-chunked"
 
     def _deposit_and_solve(self) -> None:
         """Accumulate rho from current positions, then solve for E."""
@@ -339,14 +393,21 @@ class PICStepper:
                     self._phase_sort()
 
             self.fields.reset_rho()
-            if cfg.loop_mode == "split":
+            path = self._select_loop_path()
+            instr.record_path(path)
+            if path == "split":
                 with instr.phase("update_v"):
                     self._phase_update_v()
                 with instr.phase("update_x"):
                     self._phase_update_x()
                 with instr.phase("accumulate"):
                     self._phase_accumulate()
-            else:
+            elif path == "fused-backend":
+                with instr.phase("fused"):
+                    self._phase_fused()
+                with instr.phase("accumulate"):
+                    self._phase_accumulate()
+            else:  # fused-chunked
                 n = self.particles.n
                 size = cfg.chunk_size
                 for lo in range(0, n, size):

@@ -129,12 +129,54 @@ def _exec_push(arrs, lo, hi, ncx, ncy, ordering, variant, scale_x, scale_y):
         arrs["iy_new"][sl] = iy
 
 
+def _shard_deposit_numpy(slab_rows, icell, dx, dy, charge, cell_lo, cell_hi):
+    """NumPy shard deposit: flatnonzero-select the owned particles."""
+    sel = np.flatnonzero((icell >= cell_lo) & (icell < cell_hi))
+    if sel.size:
+        _k.accumulate_redundant(
+            slab_rows, icell[sel] - cell_lo, dx[sel], dy[sel], charge
+        )
+
+
+#: Resolved shard-deposit kernel (lazy; see :func:`_shard_deposit_kernel`).
+_SHARD_DEPOSIT = None
+
+
+def _shard_deposit_kernel():
+    """The shard-deposit kernel this process uses (resolved once).
+
+    Backend composition: when :mod:`numba` is importable, ``numpy-mp``
+    worker shards run the compiled
+    :func:`~repro.core.njit_kernels.accumulate_redundant_shard_njit`
+    loop instead of the NumPy bincount deposit — same cell-ownership
+    scheme, same ``w * charge`` particle-order arithmetic, so the two
+    kernels are bitwise interchangeable and a pool may freely mix them
+    (e.g. a parent whose serial retry resolves differently than a
+    worker).  Set ``REPRO_MP_NJIT=0`` to pin the NumPy kernel; a broken
+    numba install falls back to it silently (one debug log line).
+    """
+    global _SHARD_DEPOSIT
+    if _SHARD_DEPOSIT is None:
+        kernel = None
+        if os.environ.get("REPRO_MP_NJIT", "1") != "0":
+            try:
+                from repro.core.njit_kernels import (
+                    accumulate_redundant_shard_njit,
+                )
+
+                kernel = accumulate_redundant_shard_njit
+            except Exception:
+                _log.debug("njit shard deposit unavailable", exc_info=True)
+        _SHARD_DEPOSIT = kernel if kernel is not None else _shard_deposit_numpy
+    return _SHARD_DEPOSIT
+
+
 def _exec_deposit(slab, icell, dx, dy, cell_lo, cell_hi, charge):
     """Deposit the owned cell range ``[cell_lo, cell_hi)`` into ``slab``.
 
     The serial deposit's ``np.bincount`` sums each bin's contributions
-    in particle order; selecting the owned particles with
-    ``np.flatnonzero`` preserves that order, so every slab row holds
+    in particle order; scanning (or selecting) the owned particles in
+    index order preserves that order, so every slab row holds
     bitwise the terms the serial deposit would put in the matching
     ``rho_1d`` row.  The slab is re-zeroed first, making retries
     idempotent.
@@ -142,11 +184,15 @@ def _exec_deposit(slab, icell, dx, dy, cell_lo, cell_hi, charge):
     nrows = cell_hi - cell_lo
     slab[:nrows] = 0.0
     icell = np.asarray(icell, dtype=np.int64)
-    sel = np.flatnonzero((icell >= cell_lo) & (icell < cell_hi))
-    if sel.size:
-        _k.accumulate_redundant(
-            slab[:nrows], icell[sel] - cell_lo, dx[sel], dy[sel], charge
-        )
+    _shard_deposit_kernel()(
+        slab[:nrows],
+        icell,
+        np.asarray(dx, dtype=np.float64),
+        np.asarray(dy, dtype=np.float64),
+        float(charge),
+        int(cell_lo),
+        int(cell_hi),
+    )
 
 
 def _cached_ordering(spec, cache):

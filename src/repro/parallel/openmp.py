@@ -34,6 +34,7 @@ __all__ = [
     "partition_range",
     "parallel_accumulate_redundant",
     "parallel_accumulate_standard",
+    "cellwise_accumulate_redundant",
     "ThreadScalingModel",
 ]
 
@@ -70,6 +71,34 @@ def parallel_accumulate_redundant(
         privates.append(priv)
     for priv in privates:  # deterministic thread-order reduction
         rho_1d += priv
+
+
+def cellwise_accumulate_redundant(
+    rho_1d: np.ndarray, icell, dx, dy, charge: float, nthreads: int
+) -> None:
+    """Cell-ownership deposit: private copies, *bitwise* thread-invariant.
+
+    The particle-partitioned scheme above matches the serial deposit
+    only to rounding (each bin's sum is re-associated at the thread
+    boundary).  This variant partitions the *cells* instead: thread
+    ``t`` owns the contiguous cell range ``[t*C/p, (t+1)*C/p)``, scans
+    the whole particle array, and deposits only the particles whose
+    cell it owns into its private copy.  Rows are disjoint across
+    threads, and within a bin the contributions arrive in particle
+    order — exactly the order the serial deposit sums them — so the
+    reduction is bitwise equal to the serial result and invariant to
+    ``nthreads``.  The trade is p passes over the particle keys for a
+    race-free, reproducible reduction; the ``@njit`` twin
+    (:func:`repro.core.njit_kernels.accumulate_redundant_parallel_njit`)
+    runs the p scans concurrently so the extra reads are the only cost.
+    """
+    icell = np.asarray(icell)
+    for sl in partition_range(rho_1d.shape[0], nthreads):
+        own = (icell >= sl.start) & (icell < sl.stop)
+        idx = np.nonzero(own)[0]  # ascending: preserves particle order
+        priv = np.zeros((sl.stop - sl.start, rho_1d.shape[1]), dtype=rho_1d.dtype)
+        accumulate_redundant(priv, icell[idx] - sl.start, dx[idx], dy[idx], charge)
+        rho_1d[sl] += priv  # disjoint row ranges: order-free reduction
 
 
 def parallel_accumulate_standard(

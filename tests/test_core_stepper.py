@@ -122,7 +122,8 @@ class TestStepInvariants:
         assert t.total > 0
         assert t.update_v > 0 and t.update_x > 0 and t.accumulate > 0
         assert set(t.as_dict()) == {
-            "update_v", "update_x", "accumulate", "sort", "solve", "total",
+            "update_v", "update_x", "fused", "accumulate", "sort", "solve",
+            "total",
         }
 
 

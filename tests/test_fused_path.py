@@ -1,0 +1,375 @@
+"""The fused single-pass particle loop and the thread-parallel deposit.
+
+Covers the dispatch plumbing (split / fused-backend / fused-chunked),
+bitwise equivalence of the fused path against the split numpy oracle
+across every position-update variant and both field layouts, the
+thread-count invariance of the cell-ownership parallel deposit, the
+fused-vs-split autotuner, and the supervisor degrading a fused-capable
+backend down the chain.
+
+The composite test backend renders ``fused_interp_kick_push`` by
+composing the split numpy kernels, so it is bitwise-identical to the
+split path *by construction* — that isolates the stepper dispatch and
+bookkeeping under test from the compiled kernel itself, which the
+numba-gated tests at the bottom exercise when numba is installed.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.core.backends as B
+from repro.core import OptimizationConfig, Simulation
+from repro.core.autotune import LoopModeAutoTuner, tune_loop_mode
+from repro.core.backends import NumbaBackend, NumpyBackend, register_backend
+from repro.core.kernels import accumulate_redundant
+from repro.curves import get_ordering
+from repro.grid import GridSpec
+from repro.parallel.openmp import cellwise_accumulate_redundant
+from repro.particles import LandauDamping
+from repro.resilience import FaultInjector, SupervisedRun
+
+HAS_NUMBA = NumbaBackend.is_available()
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+class _FusedComposite(NumpyBackend):
+    """Numpy backend advertising the fast-path capabilities.
+
+    The fused kernel is the split kernels run back to back on the full
+    arrays, and the parallel deposit is the cell-ownership scheme from
+    :mod:`repro.parallel.openmp` — both bitwise-equal to the plain
+    numpy rendering, so any mismatch a test sees is the stepper's
+    fault, not the kernel's.
+    """
+
+    name = "fused-composite"
+    priority = -5  # never auto-picked
+    degrades_to = "numpy"
+    capabilities = frozenset({"fused", "parallel_deposit"})
+
+    def fused_interp_kick_push(
+        self, fields, particles, ordering, variant,
+        coef_x=1.0, coef_y=1.0, scale_x=1.0, scale_y=1.0,
+    ):
+        p = particles
+        if fields.layout == "redundant":
+            ex_p, ey_p = self.interpolate_redundant(
+                fields.e_1d, p.icell, p.dx, p.dy
+            )
+        else:
+            if p.store_coords:
+                ix, iy = p.ix, p.iy
+            else:
+                ix, iy = ordering.decode(p.icell)
+            ex_p, ey_p = self.interpolate_standard(
+                fields.ex, fields.ey, ix, iy, p.dx, p.dy
+            )
+        self.update_velocities(p.vx, p.vy, ex_p, ey_p, coef_x, coef_y)
+        g = fields.grid
+        self.push_positions(p, g.ncx, g.ncy, ordering, variant, scale_x, scale_y)
+
+    def accumulate_redundant_parallel(self, rho_1d, icell, dx, dy, charge=1.0):
+        cellwise_accumulate_redundant(rho_1d, icell, dx, dy, charge, nthreads=3)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _composite_registered():
+    register_backend(_FusedComposite)
+    try:
+        yield
+    finally:
+        B._REGISTRY.pop(_FusedComposite.name, None)
+        B._INSTANCES.pop(_FusedComposite.name, None)
+
+
+GRID = dict(ncx=16, ncy=16)
+
+
+def _sim(cfg_kw, n=1500, steps=None, seed=11):
+    grid = GridSpec(16, 16, 0.0, 4 * np.pi, 0.0, 4 * np.pi)
+    cfg = OptimizationConfig.fully_optimized().with_(**cfg_kw)
+    sim = Simulation(grid, LandauDamping(alpha=0.05), n, cfg, dt=0.05, seed=seed)
+    if steps:
+        sim.run(steps)
+    return sim
+
+
+def _assert_bitwise_equal_states(a, b):
+    for attr in ("icell", "dx", "dy", "vx", "vy"):
+        np.testing.assert_array_equal(
+            np.asarray(getattr(a.particles, attr)),
+            np.asarray(getattr(b.particles, attr)),
+            err_msg=attr,
+        )
+    np.testing.assert_array_equal(a.stepper.rho_grid, b.stepper.rho_grid)
+    np.testing.assert_array_equal(a.stepper.ex_grid, b.stepper.ex_grid)
+    assert a.history.field_energy == b.history.field_energy
+
+
+class TestLoopPathDispatch:
+    def test_split_path_on_any_backend(self):
+        with _sim({"loop_mode": "split", "backend": "fused-composite"},
+                  steps=3) as sim:
+            t = sim.timings
+            assert t.loop_paths == {"split": 3}
+            assert t.update_v > 0 and t.fused == 0.0
+
+    def test_fused_without_capability_chunks(self):
+        with _sim({"loop_mode": "fused", "backend": "numpy"}, steps=3) as sim:
+            t = sim.timings
+            assert t.loop_paths == {"fused-chunked": 3}
+            assert t.update_v > 0 and t.fused == 0.0
+
+    def test_fused_with_capability_uses_backend_kernel(self):
+        with _sim({"loop_mode": "fused", "backend": "fused-composite"},
+                  steps=3) as sim:
+            t = sim.timings
+            assert t.loop_paths == {"fused-backend": 3}
+            assert t.fused > 0 and t.update_v == 0.0 and t.update_x == 0.0
+            # the deposit still runs (through the parallel capability)
+            assert t.accumulate > 0
+            rates = t.phase_particles_per_second()
+            assert rates["fused"] > 0 and rates["update_v"] == 0.0
+
+
+class TestFusedBitwiseEquivalence:
+    """fused-backend vs the split numpy oracle: identical bits.
+
+    Runs cross a sort step (``sort_period=3``) so the equivalence holds
+    through the permutation as well.
+    """
+
+    STEPS = 7
+
+    @pytest.mark.parametrize("variant", ["branch", "modulo", "bitwise"])
+    @pytest.mark.parametrize("layout", ["redundant", "standard"])
+    def test_composite_fused_matches_split_numpy(self, variant, layout):
+        base = {"position_update": variant, "field_layout": layout,
+                "sort_period": 3}
+        with _sim({**base, "loop_mode": "split", "backend": "numpy"},
+                  steps=self.STEPS) as split_sim, \
+             _sim({**base, "loop_mode": "fused", "backend": "fused-composite"},
+                  steps=self.STEPS) as fused_sim:
+            assert fused_sim.timings.loop_paths == {"fused-backend": self.STEPS}
+            _assert_bitwise_equal_states(fused_sim, split_sim)
+
+    def test_fused_matches_split_without_hoisting(self):
+        # non-unit kick coefficients and position scales
+        base = {"hoisting": False, "sort_period": 3}
+        with _sim({**base, "loop_mode": "split", "backend": "numpy"},
+                  steps=self.STEPS) as split_sim, \
+             _sim({**base, "loop_mode": "fused", "backend": "fused-composite"},
+                  steps=self.STEPS) as fused_sim:
+            _assert_bitwise_equal_states(fused_sim, split_sim)
+
+
+class TestCellwiseParallelDeposit:
+    """§V-B private copies + reduction: bitwise thread invariance."""
+
+    def _random_deposit_inputs(self, rng, n=5000):
+        o = get_ordering("morton", 16, 16)
+        ncells = o.ncells_allocated
+        icell = rng.integers(0, ncells, n).astype(np.int64)
+        return ncells, icell, rng.random(n), rng.random(n)
+
+    @pytest.mark.parametrize("nthreads", [1, 2, 4, 7])
+    def test_bitwise_equal_to_serial_for_any_thread_count(self, rng, nthreads):
+        ncells, icell, dx, dy = self._random_deposit_inputs(rng)
+        serial = np.zeros((ncells, 4))
+        accumulate_redundant(serial, icell, dx, dy, 0.37)
+        par = np.zeros((ncells, 4))
+        cellwise_accumulate_redundant(par, icell, dx, dy, 0.37, nthreads)
+        np.testing.assert_array_equal(par, serial)
+
+    def test_accumulates_into_existing_density(self, rng):
+        ncells, icell, dx, dy = self._random_deposit_inputs(rng, n=800)
+        base = rng.random((ncells, 4))
+        serial = base.copy()
+        accumulate_redundant(serial, icell, dx, dy, -1.5)
+        par = base.copy()
+        cellwise_accumulate_redundant(par, icell, dx, dy, -1.5, 4)
+        np.testing.assert_array_equal(par, serial)
+
+    def test_stepper_routes_full_deposit_through_parallel_capability(self):
+        calls = []
+        orig = _FusedComposite.accumulate_redundant_parallel
+
+        def spy(self, rho_1d, icell, dx, dy, charge=1.0):
+            calls.append(len(np.asarray(icell)))
+            orig(self, rho_1d, icell, dx, dy, charge)
+
+        _FusedComposite.accumulate_redundant_parallel = spy
+        try:
+            with _sim({"loop_mode": "fused", "backend": "fused-composite"},
+                      n=900, steps=2):
+                pass
+        finally:
+            _FusedComposite.accumulate_redundant_parallel = orig
+        # t=0 deposit + one per step: every one whole-array (n=900)
+        assert calls and all(c == 900 for c in calls)
+
+
+class TestLoopModeAutoTuner:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown loop mode"):
+            LoopModeAutoTuner(candidates=("fused", "warp"))
+
+    def test_requires_candidates_and_positive_trials(self):
+        with pytest.raises(ValueError):
+            LoopModeAutoTuner(candidates=())
+        with pytest.raises(ValueError):
+            LoopModeAutoTuner(trial_iterations=0)
+
+    def test_trial_cycle_and_result(self):
+        tuner = LoopModeAutoTuner(trial_iterations=2)
+        assert tuner.mode == "fused" and not tuner.finished
+        tuner.record(1.0)
+        tuner.record(3.0)
+        assert tuner.mode == "split"
+        tuner.record(1.0)
+        tuner.record(1.0)
+        assert tuner.finished
+        res = tuner.result()
+        assert res.best_mode == "split"
+        assert res.costs == {"fused": 2.0, "split": 1.0}
+        assert res.cost_of("fused") == 2.0
+        assert res.speedup() == 2.0
+        # after finishing, .mode settles on the winner
+        assert tuner.mode == "split"
+        tuner.record(99.0)  # ignored once finished
+        assert tuner.result().costs == res.costs
+
+    def test_result_excludes_partial_trial(self):
+        tuner = LoopModeAutoTuner(trial_iterations=2)
+        with pytest.raises(RuntimeError):
+            tuner.result()
+        tuner.record(1.0)
+        tuner.record(1.0)
+        tuner.record(5.0)  # partial "split" trial
+        res = tuner.result()
+        assert set(res.costs) == {"fused"}
+
+    def test_tune_loop_mode_measures_both_modes(self):
+        def factory(cfg):
+            return Simulation(
+                GridSpec(16, 16, 0.0, 4 * np.pi, 0.0, 4 * np.pi),
+                LandauDamping(alpha=0.05), 400, cfg, dt=0.05, seed=3,
+            )
+
+        base = OptimizationConfig.fully_optimized().with_(backend="numpy")
+        res = tune_loop_mode(factory, base, steps=2, warmup_steps=1)
+        assert set(res.costs) == {"fused", "split"}
+        assert res.best_mode in res.costs
+        assert all(c > 0 for c in res.costs.values())
+        assert res.speedup() >= 1.0
+
+    def test_tune_loop_mode_rejects_nonpositive_steps(self):
+        with pytest.raises(ValueError, match="steps"):
+            tune_loop_mode(lambda cfg: None, OptimizationConfig.baseline(),
+                           steps=0)
+
+
+class TestSupervisorDegradesFusedBackend:
+    def test_fused_backend_degrades_to_numpy_bitwise(self):
+        # chunk_size > n makes numpy's fused-chunked rendering a single
+        # whole-array pass, bitwise-equal to the composite's fused
+        # kernel — so the clean run, the pre-degradation steps and the
+        # post-degradation steps must all agree exactly
+        cfg_kw = {"loop_mode": "fused", "chunk_size": 10 ** 6,
+                  "sort_period": 3}
+        with _sim({**cfg_kw, "backend": "numpy"}, n=1200, seed=7) as clean:
+            clean.run(12)
+            clean_hist = clean.history
+
+        inj = FaultInjector().add_kernel_raise(
+            step=4, kernel="fused_interp_kick_push", backend="fused-composite",
+        )
+        sim = _sim({**cfg_kw, "backend": "fused-composite"}, n=1200, seed=7)
+        with SupervisedRun(
+            sim, checkpoint_every=3, max_retries=1, injector=inj,
+        ) as sup:
+            h = sup.run(12)
+            assert sup.report.degradations == [
+                {"step": 4, "from": "fused-composite", "to": "numpy"}
+            ]
+            assert sup.backend_name == "numpy"
+            assert sup.sim.stepper.backend.name == "numpy"
+            # the rebuilt stepper falls back to the chunked rendering
+            assert "fused-chunked" in sup.sim.timings.loop_paths
+            assert h.field_energy == clean_hist.field_energy
+            assert h.kinetic_energy == clean_hist.kinetic_energy
+
+
+# ----------------------------------------------------------------------
+# Numba-gated: the real compiled kernels (skipped when numba is absent)
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not HAS_NUMBA, reason="numba not installed")
+class TestNumbaFusedKernels:
+    STEPS = 7
+
+    @pytest.mark.parametrize("variant", ["branch", "modulo", "bitwise"])
+    @pytest.mark.parametrize("layout", ["redundant", "standard"])
+    def test_numba_fused_bitwise_matches_split_numpy(self, variant, layout):
+        base = {"position_update": variant, "field_layout": layout,
+                "sort_period": 3}
+        with _sim({**base, "loop_mode": "split", "backend": "numpy"},
+                  steps=self.STEPS) as split_sim, \
+             _sim({**base, "loop_mode": "fused", "backend": "numba"},
+                  steps=self.STEPS) as fused_sim:
+            assert fused_sim.timings.loop_paths == {"fused-backend": self.STEPS}
+            _assert_bitwise_equal_states(fused_sim, split_sim)
+
+    def test_njit_counting_sort_matches_reference(self, rng):
+        from repro.core.backends import get_backend
+        from repro.particles.sorting import counting_sort_permutation_reference
+
+        keys = rng.integers(0, 97, 4000).astype(np.int64)
+        perm = get_backend("numba").counting_sort_permutation(keys, 97)
+        np.testing.assert_array_equal(
+            perm, counting_sort_permutation_reference(keys, 97)
+        )
+
+    def test_parallel_deposit_thread_count_invariant(self):
+        """NUMBA_NUM_THREADS ∈ {1, 2, 4}: identical bits.
+
+        Subprocesses because numba pins its thread count at the first
+        parallel kernel launch in a process.
+        """
+        script = (
+            "import hashlib, numpy as np\n"
+            "from repro.core.backends import get_backend\n"
+            "rng = np.random.default_rng(0)\n"
+            "n, ncells = 20000, 256\n"
+            "icell = rng.integers(0, ncells, n).astype(np.int64)\n"
+            "dx, dy = rng.random(n), rng.random(n)\n"
+            "rho = np.zeros((ncells, 4))\n"
+            "get_backend('numba').accumulate_redundant_parallel("
+            "rho, icell, dx, dy, 0.37)\n"
+            "print(hashlib.sha256(rho.tobytes()).hexdigest())\n"
+        )
+        digests = {}
+        for nthreads in (1, 2, 4):
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, timeout=300,
+                env={"PYTHONPATH": SRC, "NUMBA_NUM_THREADS": str(nthreads),
+                     "PATH": "/usr/bin:/bin"},
+            )
+            assert proc.returncode == 0, proc.stderr
+            digests[nthreads] = proc.stdout.strip()
+        assert len(set(digests.values())) == 1, digests
+        # ... and those bits are the serial numpy deposit's bits
+        rng = np.random.default_rng(0)
+        n, ncells = 20000, 256
+        icell = rng.integers(0, ncells, n).astype(np.int64)
+        dx, dy = rng.random(n), rng.random(n)
+        rho = np.zeros((ncells, 4))
+        accumulate_redundant(rho, icell, dx, dy, 0.37)
+        import hashlib
+
+        assert hashlib.sha256(rho.tobytes()).hexdigest() == digests[1]

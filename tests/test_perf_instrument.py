@@ -20,10 +20,34 @@ class TestStepTimings:
         assert t.steps == 0 and t.particle_steps == 0
 
     def test_as_dict_keys_stable(self):
-        # the benchmark-facing view keeps its historical shape
+        # the benchmark-facing view keeps its historical shape (plus the
+        # fused phase added with the single-pass loop path)
         assert set(StepTimings().as_dict()) == {
-            "update_v", "update_x", "accumulate", "sort", "solve", "total",
+            "update_v", "update_x", "fused", "accumulate", "sort", "solve",
+            "total",
         }
+
+    def test_fused_counts_into_totals(self):
+        t = StepTimings(fused=2.0, accumulate=1.0, particle_steps=6000)
+        assert t.total == pytest.approx(3.0)
+        assert t.kernel_total == pytest.approx(3.0)
+        rates = t.phase_particles_per_second()
+        assert rates["fused"] == pytest.approx(3000.0)
+        assert rates["update_v"] == 0.0
+
+    def test_from_json_accepts_pre_fused_records(self):
+        rec = {
+            "update_v": 1.0, "update_x": 1.0, "accumulate": 1.0,
+            "sort": 0.0, "solve": 0.5,
+        }
+        back = StepTimings.from_json(json.dumps(rec))
+        assert back.fused == 0.0
+        assert back.loop_paths == {}
+
+    def test_loop_path_round_trip(self):
+        t = StepTimings(fused=1.0, loop_paths={"fused-backend": 3, "split": 1})
+        back = StepTimings.from_json(t.to_json())
+        assert back.loop_paths == {"fused-backend": 3, "split": 1}
 
     def test_as_record_extends_as_dict(self):
         rec = StepTimings(update_v=2.0, steps=4, particle_steps=4000).as_record()
@@ -66,6 +90,22 @@ class TestInstrumentation:
         with pytest.raises(KeyError, match="unknown phase"):
             with instr.phase("teleport"):
                 pass
+
+    def test_record_path(self):
+        instr = Instrumentation()
+        with instr.step(10):
+            instr.record_path("split")
+            with instr.phase("update_v"):
+                pass
+        with instr.step(10):
+            instr.record_path("fused-backend")
+            with instr.phase("fused"):
+                pass
+        assert instr.timings.loop_paths == {"split": 1, "fused-backend": 1}
+        assert instr.per_step[0]["path"] == "split"
+        assert instr.per_step[1]["path"] == "fused-backend"
+        with pytest.raises(KeyError, match="unknown loop path"):
+            instr.record_path("warp")
 
     def test_counters_monotone_across_steps(self):
         instr = Instrumentation()

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Performance gate: the fused single-pass kernel must beat splitting.
+
+The whole point of the fused fast path is that a JIT backend's single
+sweep over the particle arrays wins over three split passes that
+re-stream them from DRAM (the inverse of the paper's §IV-B trade under
+a vectorizing C compiler).  This gate makes that claim executable:
+
+* measure split vs fused on the best fused-capable backend (numba)
+  via :func:`benchmarks.bench_simulation_throughput.measure_loop_modes`;
+* **fail** (exit 1) if the fused kernel path is slower than the split
+  path (``--min-speedup``, default 1.0);
+* report the deposit+interpolate phase speedup against the paper-scale
+  target (``--target-speedup``, default 1.5) — a warning, not a
+  failure, since it depends on core count and memory bandwidth;
+* **skip** (exit 0 with a message) when no fused-capable backend is
+  importable: the numpy rendering of fusion is chunked looping, which
+  carries no such guarantee, so there is nothing to gate.
+
+Wired into ``make bench-gate`` (and ``make check``).  Pass
+``--update-baseline`` to refresh ``BENCH_baseline.json`` with the
+measured numbers.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+
+def main(argv=None):
+    from bench_simulation_throughput import measure_loop_modes
+
+    from repro.core.backends import available_backends, get_backend
+
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--particles", type=int, default=1_000_000,
+                    help="population for the gate run (default: 1M)")
+    ap.add_argument("--steps", type=int, default=3)
+    ap.add_argument("--warmup-steps", type=int, default=1)
+    ap.add_argument("--backend", default=None,
+                    help="fused-capable backend (default: best available)")
+    ap.add_argument("--min-speedup", type=float, default=1.0,
+                    help="hard gate: fused kernel time must be at least "
+                         "this factor faster than split (default 1.0)")
+    ap.add_argument("--target-speedup", type=float, default=1.5,
+                    help="soft target on the deposit+interpolate phases")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="write the measurements into BENCH_baseline.json")
+    args = ap.parse_args(argv)
+
+    fused_capable = [
+        b for b in available_backends() if get_backend(b).supports("fused")
+    ]
+    if args.backend:
+        if args.backend not in fused_capable:
+            print(f"bench-gate: FAIL — backend {args.backend!r} does not "
+                  f"offer the 'fused' capability (capable: {fused_capable})")
+            return 1
+        backend = args.backend
+    elif fused_capable:
+        backend = max(fused_capable, key=lambda b: get_backend(b).priority)
+    else:
+        print("bench-gate: SKIP — no fused-capable backend available "
+              "(numba is not installed); the numpy rendering of fusion is "
+              "chunked looping, which this gate does not constrain")
+        return 0
+
+    print(f"bench-gate: measuring split vs fused on {backend!r} "
+          f"(n={args.particles}, steps={args.steps})", flush=True)
+    rec = measure_loop_modes(
+        backend, args.particles, args.steps, args.warmup_steps
+    )
+    split, fused = rec["split"], rec["fused"]
+
+    kernel_speedup = (
+        split["kernel_seconds_per_step"] / fused["kernel_seconds_per_step"]
+        if fused["kernel_seconds_per_step"] > 0 else float("inf")
+    )
+    # deposit+interpolate: the phases the paper's §V-B numbers isolate.
+    # Split renders interpolation inside update_v; fused folds it into
+    # the single-pass kernel — either way deposit rides along.
+    split_di = split["phase_seconds"]["update_v"] + split["phase_seconds"]["accumulate"]
+    fused_di = fused["phase_seconds"]["fused"] + fused["phase_seconds"]["accumulate"]
+    di_speedup = split_di / fused_di if fused_di > 0 else float("inf")
+
+    for mode, r in (("split", split), ("fused", fused)):
+        print(f"  {mode:6s}: {r['kernel_seconds_per_step'] * 1e3:8.2f} ms/step "
+              f"kernels, {r['particles_per_second'] / 1e6:7.2f} M "
+              f"particle-steps/s  (paths: {r['loop_paths']})")
+    print(f"  fused kernel speedup:              {kernel_speedup:5.2f}x "
+          f"(gate: >= {args.min_speedup:.2f}x)")
+    print(f"  deposit+interpolate phase speedup: {di_speedup:5.2f}x "
+          f"(target: >= {args.target_speedup:.2f}x)")
+
+    if args.update_baseline:
+        path = ROOT / "BENCH_baseline.json"
+        doc = json.loads(path.read_text()) if path.exists() else {
+            "meta": {}, "results": {},
+        }
+        doc["results"][backend] = rec
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"  updated {path}")
+
+    if kernel_speedup < args.min_speedup:
+        print(f"bench-gate: FAIL — fused path is slower than split on "
+              f"{backend!r} ({kernel_speedup:.2f}x < {args.min_speedup:.2f}x)")
+        return 1
+    if di_speedup < args.target_speedup:
+        print(f"bench-gate: PASS (with warning: deposit+interpolate speedup "
+              f"{di_speedup:.2f}x below the {args.target_speedup:.2f}x target "
+              f"on this machine)")
+        return 0
+    print("bench-gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
