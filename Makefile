@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-gate bench-scaling chaos examples results clean docs-check check
+.PHONY: install test bench bench-gate bench-scaling chaos examples results clean docs-check check verify-gate verify-full
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -13,7 +13,7 @@ test:
 docs-check:
 	$(PYTHON) tools/check_links.py
 
-check: docs-check chaos bench-gate
+check: docs-check chaos bench-gate verify-gate
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/
 
 # fault-injection suite under a fixed seed, then assert zero leaked
@@ -29,6 +29,21 @@ bench:
 # when no fused-capable backend (numba) is installed
 bench-gate:
 	$(PYTHON) tools/bench_gate.py
+
+# golden-run regression gate: every importable backend must reproduce
+# the committed golden/GOLDEN_*.json documents (bitwise for numpy and
+# numpy-mp, within recorded tolerances for numba); regenerate after an
+# intentional numerics change with `python tools/verify_gate.py
+# --regenerate` (workflow: docs/verification.md)
+verify-gate:
+	$(PYTHON) tools/verify_gate.py
+
+# the full differential-verification matrix: the verify_full-marked
+# tests that tier-1 deselects (bigger sampled matrix, oracles on every
+# backend) plus a 16-sample CLI sweep
+verify-full:
+	PYTHONPATH=src $(PYTHON) -m pytest -q -m verify_full tests/
+	PYTHONPATH=src $(PYTHON) -m repro verify --seed 0 --samples 16 --oracles --golden
 
 # quick strong-scaling smoke of the numpy-mp engine (2 workers);
 # the full sweep runs via `pytest benchmarks/bench_shm_scaling.py`

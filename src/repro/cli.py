@@ -7,6 +7,8 @@ Commands:
 * ``locality`` — compare unit-move locality of all orderings;
 * ``tune-sort`` — run the sort-period autotuner on the cost model;
 * ``misses`` — run a scaled cache-miss experiment (Table II style);
+* ``verify`` — differential cross-backend equivalence matrix, physics
+  acceptance oracles, and the golden-run regression check;
 * ``info`` — library, machine-preset and configuration summary.
 
 Everything the CLI prints is computed through the same public API the
@@ -133,6 +135,33 @@ def build_parser() -> argparse.ArgumentParser:
     mi.add_argument("--iterations", type=int, default=10)
     mi.add_argument("--grid-side", type=int, default=64)
     mi.add_argument("--sort-period", type=int, default=5)
+
+    ver = sub.add_parser(
+        "verify",
+        help="differential equivalence matrix, physics oracles, golden gate",
+    )
+    ver.add_argument("--seed", type=int, default=0,
+                     help="config-space sampler seed (default: 0)")
+    ver.add_argument("--samples", type=int, default=8,
+                     help="number of sampled scenarios (default: 8)")
+    ver.add_argument("--rtol", type=float, default=1e-9,
+                     help="relative tolerance for tolerance-level combos")
+    ver.add_argument("--no-mp", action="store_true",
+                     help="exclude the numpy-mp combo (skips worker-pool "
+                     "startup on tiny runs)")
+    ver.add_argument("--mp-workers", type=int, default=2, metavar="N",
+                     help="worker count for the numpy-mp combo (default: 2)")
+    ver.add_argument("--oracles", action="store_true",
+                     help="also run the physics acceptance oracles "
+                     "(Landau/two-stream rates, energy, momentum, 3D)")
+    ver.add_argument("--oracle-backend", default="numpy",
+                     help="backend the oracles run on (default: numpy)")
+    ver.add_argument("--golden", action="store_true",
+                     help="also check every importable backend against the "
+                     "committed golden-run documents")
+    ver.add_argument("--golden-dir", type=str, default=None, metavar="DIR",
+                     help="directory of GOLDEN_*.json documents "
+                     "(default: <repo>/golden)")
 
     sub.add_parser("info", help="library and machine-preset summary")
     return parser
@@ -300,6 +329,70 @@ def _cmd_misses(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from repro.verify import (
+        DifferentialRunner,
+        ScenarioSampler,
+        check_golden,
+        golden_cases,
+        load_golden,
+        run_all_oracles,
+    )
+
+    failures = 0
+
+    print(f"differential matrix: seed={args.seed} samples={args.samples} "
+          f"rtol={args.rtol:g}")
+    sampler = ScenarioSampler(seed=args.seed)
+    runner = DifferentialRunner(
+        rtol=args.rtol,
+        include_mp=not args.no_mp,
+        mp_workers=args.mp_workers,
+    )
+    for scenario in sampler.sample(args.samples):
+        report = runner.run_scenario(scenario)
+        print(report.describe())
+        if not report.ok:
+            failures += 1
+
+    if args.oracles:
+        print(f"physics oracles on {args.oracle_backend!r}:")
+        for result in run_all_oracles(args.oracle_backend):
+            print("  " + result.describe())
+            if not result.passed:
+                failures += 1
+
+    if args.golden:
+        from pathlib import Path
+
+        from repro.core.backends import available_backends
+        from repro.verify.golden import default_golden_dir
+
+        golden_dir = (
+            Path(args.golden_dir) if args.golden_dir else default_golden_dir()
+        )
+        print(f"golden checks against {golden_dir}:")
+        for name in golden_cases():
+            path = golden_dir / f"GOLDEN_{name}.json"
+            if not path.exists():
+                print(f"  {name}: MISSING {path} (regenerate with "
+                      "python tools/verify_gate.py --regenerate)")
+                failures += 1
+                continue
+            doc = load_golden(path)
+            for backend in available_backends():
+                result = check_golden(doc, backend)
+                print("  " + result.describe())
+                if not result.ok:
+                    failures += 1
+
+    if failures:
+        print(f"verify: FAIL ({failures} check(s) diverged)")
+        return 1
+    print("verify: PASS")
+    return 0
+
+
 def _cmd_info(_args) -> int:
     import os
 
@@ -349,6 +442,7 @@ def main(argv=None) -> int:
         "locality": _cmd_locality,
         "tune-sort": _cmd_tune_sort,
         "misses": _cmd_misses,
+        "verify": _cmd_verify,
         "info": _cmd_info,
     }
     try:

@@ -258,6 +258,8 @@ def _reconstruct(stepper, grid, config, particles, meta, data,
         instrumentation if instrumentation is not None else Instrumentation()
     )
     stepper.timings = stepper.instrumentation.timings
+    # hooks are observers of a live run, never part of checkpointed state
+    stepper.phase_hook = None
     stepper.iteration = int(meta["iteration"])
     stepper._closed = False
     stepper.ex_grid = np.array(data["ex_grid"])

@@ -101,11 +101,22 @@ def interpolate_redundant(e_1d, icell, dx, dy):
 
     One contiguous 8-value row per particle (a single cache line in
     the paper's machines).  Returns ``(ex_p, ey_p)``.
+
+    The 4-corner reduction is written as explicit sequential adds (a
+    left fold in corner order) rather than ``einsum``: einsum's SIMD/FMA
+    contraction has an unspecified association, which makes the result
+    impossible to reproduce with scalar arithmetic.  The fold keeps the
+    kernel bitwise-mirrorable by the scalar reference stepper
+    (:class:`repro.core.reference.ReferenceStepper`), which the
+    differential-verification subsystem uses as its baseline.
     """
     rows = e_1d[np.asarray(icell, dtype=np.int64)]  # (N, 8)
     w = corner_weights(dx, dy)  # (N, 4)
-    ex_p = np.einsum("nc,nc->n", rows[:, :4], w)
-    ey_p = np.einsum("nc,nc->n", rows[:, 4:], w)
+    ex_p = w[:, 0] * rows[:, 0]
+    ey_p = w[:, 0] * rows[:, 4]
+    for c in range(1, 4):
+        ex_p += w[:, c] * rows[:, c]
+        ey_p += w[:, c] * rows[:, 4 + c]
     return ex_p, ey_p
 
 

@@ -1,11 +1,22 @@
-"""Scalar reference kernels — the test oracle.
+"""Scalar reference kernels and the full-step reference stepper.
 
 Plain-Python, one-particle-at-a-time implementations of the same math
 as :mod:`repro.core.kernels`.  Deliberately naive: the vectorized
 kernels are validated against these on small populations, so any
-cleverness in the fast path (bincount scatters, einsum gathers,
-bitwise wraps) is checked against arithmetic a reader can verify by
-eye against the paper's Fig. 2 pseudo-code.
+cleverness in the fast path (bincount scatters, gathers, bitwise
+wraps) is checked against arithmetic a reader can verify by eye
+against the paper's Fig. 2 pseudo-code.
+
+:class:`ReferenceStepper` chains the scalar kernels into the *complete*
+Fig. 1 time step — counting sort included — so the reference covers
+everything the optimized steppers do to the particles, not just
+isolated kernels.  It is the baseline of the differential-verification
+subsystem (:mod:`repro.verify`): the numpy backend must reproduce it
+**bitwise** over whole runs, which pins every association and rounding
+choice in the fast path.  Two pieces are intentionally shared rather
+than re-derived scalar-by-scalar: the spectral Poisson solve and the
+redundant-layout grid fold/broadcast, which are grid-level (not
+particle-loop) code and identical objects in both steppers.
 """
 
 from __future__ import annotations
@@ -16,11 +27,14 @@ import numpy as np
 
 __all__ = [
     "accumulate_standard_ref",
+    "accumulate_standard_corner_major_ref",
     "accumulate_redundant_ref",
     "interpolate_standard_ref",
     "interpolate_redundant_ref",
     "push_axis_ref",
+    "push_axis_variant_ref",
     "corner_weights_ref",
+    "ReferenceStepper",
 ]
 
 # Fig. 2 coefficient tables
@@ -81,16 +95,52 @@ def interpolate_standard_ref(ex, ey, ix, iy, dx, dy):
 
 
 def interpolate_redundant_ref(e_1d, icell, dx, dy):
-    """Scalar CiC gather from the redundant field rows."""
+    """Scalar CiC gather from the redundant field rows.
+
+    The 4-term reduction is a left fold in corner order, matching the
+    sequential-add form of the vectorized kernel bit for bit.
+    """
     n = len(icell)
     ex_p = np.zeros(n)
     ey_p = np.zeros(n)
     for p in range(n):
         ws = corner_weights_ref(float(dx[p]), float(dy[p]))
         row = e_1d[int(icell[p])]
-        ex_p[p] = sum(ws[c] * row[c] for c in range(4))
-        ey_p[p] = sum(ws[c] * row[4 + c] for c in range(4))
+        ex = ws[0] * float(row[0])
+        ey = ws[0] * float(row[4])
+        for c in range(1, 4):
+            ex += ws[c] * float(row[c])
+            ey += ws[c] * float(row[4 + c])
+        ex_p[p] = ex
+        ey_p[p] = ey
     return ex_p, ey_p
+
+
+def accumulate_standard_corner_major_ref(rho, ix, iy, dx, dy, charge=1.0):
+    """Scalar CiC scatter onto point-based rho, corners outermost.
+
+    Same arithmetic as :func:`accumulate_standard_ref`, but iterating
+    corner-major (all particles' corner 0, then corner 1, ...), which
+    is the per-bin addition order the vectorized kernel's
+    one-bincount-per-corner scatter produces — so this variant matches
+    it bitwise, not just to tolerance.  Each corner's contributions are
+    folded into a zeroed scratch array first and added to ``rho`` as
+    one grid-wide add afterwards, because that is what
+    ``rho += bincount(...)`` does: the bincount sums from zero, and the
+    running ``rho`` value joins the fold only once per corner.
+    """
+    ncx, ncy = rho.shape
+    n = len(ix)
+    for c in range(4):
+        corner_sum = np.zeros_like(rho)
+        for p in range(n):
+            i, j = int(ix[p]), int(iy[p])
+            fx, fy = float(dx[p]), float(dy[p])
+            gi = (i + 1) % ncx if c >= 2 else i
+            gj = (j + 1) % ncy if c % 2 else j
+            w = (_CX[c] + _SX[c] * fx) * (_CY[c] + _SY[c] * fy)
+            corner_sum[gi, gj] += w * charge
+        rho += corner_sum
 
 
 def push_axis_ref(x: float, nc: int) -> tuple[int, float]:
@@ -106,3 +156,232 @@ def push_axis_ref(x: float, nc: int) -> tuple[int, float]:
     if i >= nc:  # float fold can graze the upper boundary
         i, x = 0, 0.0
     return int(i), x - i
+
+
+def push_axis_variant_ref(x: float, nc: int, variant: str) -> tuple[int, float]:
+    """Scalar rendering of one §IV-C axis-wrap variant.
+
+    Bit-for-bit mirror of the whole-array kernels in
+    :data:`repro.core.kernels.AXIS_KERNELS`: same operations in the
+    same order (``np.mod`` where the vectorized kernel uses it, since
+    its rounding is what the fast path produces).  Returns
+    ``(icoord, offset)``.
+    """
+    if variant == "bitwise":
+        if nc & (nc - 1):
+            raise ValueError(f"bitwise wrap requires power-of-two extent, got {nc}")
+        # cast-based floor: trunc toward zero, minus one for negatives
+        fx = int(x) - (1 if x < 0.0 else 0)
+        return fx & (nc - 1), x - fx
+    if variant == "modulo":
+        fx = math.floor(x)
+        i = int(np.mod(fx, nc))
+        return i, x - fx
+    if variant == "branch":
+        if x < 0.0 or x >= nc:
+            x = float(np.mod(x, nc))
+        fx = math.floor(x)
+        i = int(fx)
+        if i == nc:  # float modulo can round up to exactly nc
+            return 0, 0.0
+        return i, x - fx
+    raise KeyError(f"unknown position-update variant {variant!r}")
+
+
+class ReferenceStepper:
+    """The complete Fig. 1 step, one particle at a time — the baseline.
+
+    Drives the scalar kernels above through the full leap-frog cycle
+    the optimized :class:`~repro.core.stepper.PICStepper` runs::
+
+        sort (counting sort, when due) -> reset rho -> interpolate +
+        kick -> push -> deposit -> Poisson solve
+
+    and must agree with the numpy backend's split path **bitwise**, step
+    after step (``tests/test_verify_differential.py`` holds it to 50
+    steps).  Only the redundant and standard field layouts' *grid-level*
+    machinery (corner fold, field broadcast, spectral solve) is shared
+    with the fast path; every per-particle operation — including the
+    counting sort permutation — is the plain scalar rendering.
+
+    Parameters mirror the stepper's: ``config`` picks layout, ordering,
+    axis variant, hoisting and sort cadence (``loop_mode``, backend and
+    chunking are execution strategies, which a reference has none of).
+    """
+
+    def __init__(
+        self,
+        grid,
+        config,
+        *,
+        case=None,
+        n_particles=None,
+        dt: float = 0.05,
+        q: float = -1.0,
+        m: float = 1.0,
+        eps0: float = 1.0,
+        seed: int | None = 0,
+        quiet: bool = False,
+    ):
+        from repro.curves.base import get_ordering
+        from repro.grid.fields import RedundantFields, StandardFields
+        from repro.grid.poisson import SpectralPoissonSolver
+        from repro.particles.initializers import load_particles
+
+        self.grid = grid
+        self.config = config
+        self.dt = float(dt)
+        self.q = float(q)
+        self.m = float(m)
+        self.ordering = get_ordering(
+            config.ordering, grid.ncx, grid.ncy, **config.ordering_kwargs
+        )
+        if config.field_layout == "redundant":
+            self.fields = RedundantFields(grid, self.ordering)
+        else:
+            self.fields = StandardFields(grid)
+        self.solver = SpectralPoissonSolver(grid, eps0)
+        loaded = load_particles(
+            grid, self.ordering, case, n_particles,
+            layout="soa", seed=seed, quiet=quiet, store_coords=True,
+        )
+        self.weight = loaded.weight
+        self.n = loaded.n
+        # plain contiguous copies: the reference owns its state outright
+        self.icell = np.array(loaded.icell, dtype=np.int64)
+        self.ix = np.array(loaded.ix, dtype=np.int64)
+        self.iy = np.array(loaded.iy, dtype=np.int64)
+        self.dx = np.array(loaded.dx, dtype=np.float64)
+        self.dy = np.array(loaded.dy, dtype=np.float64)
+        self.vx = np.array(loaded.vx, dtype=np.float64)
+        self.vy = np.array(loaded.vy, dtype=np.float64)
+        self.iteration = 0
+        self._init_fields_and_stagger()
+
+    # -- unit scalings (identical expressions to the stepper's) --------
+    @property
+    def _field_scale_x(self) -> float:
+        if self.config.hoisting:
+            return self.q * self.dt**2 / (self.m * self.grid.dx)
+        return 1.0
+
+    @property
+    def _field_scale_y(self) -> float:
+        if self.config.hoisting:
+            return self.q * self.dt**2 / (self.m * self.grid.dy)
+        return 1.0
+
+    @property
+    def _charge_factor(self) -> float:
+        return self.q * self.weight / self.grid.cell_area
+
+    def _update_v_coef(self) -> float:
+        return 1.0 if self.config.hoisting else self.q * self.dt / self.m
+
+    # -- phases --------------------------------------------------------
+    def _init_fields_and_stagger(self) -> None:
+        if self.config.hoisting:
+            sx = self.dt / self.grid.dx
+            sy = self.dt / self.grid.dy
+            for p in range(self.n):
+                self.vx[p] = self.vx[p] * sx
+                self.vy[p] = self.vy[p] * sy
+        self._phase_accumulate()
+        self._phase_solve()
+        ex_p, ey_p = self._interpolate()
+        coef = -0.5 * self._update_v_coef()
+        for p in range(self.n):
+            self.vx[p] += coef * ex_p[p]
+            self.vy[p] += coef * ey_p[p]
+
+    def _interpolate(self):
+        if self.fields.layout == "redundant":
+            return interpolate_redundant_ref(
+                self.fields.e_1d, self.icell, self.dx, self.dy
+            )
+        return interpolate_standard_ref(
+            self.fields.ex, self.fields.ey, self.ix, self.iy, self.dx, self.dy
+        )
+
+    def _phase_sort(self) -> None:
+        from repro.particles.sorting import counting_sort_permutation_reference
+
+        perm = counting_sort_permutation_reference(
+            self.icell, self.ordering.ncells_allocated
+        )
+        for name in ("icell", "ix", "iy", "dx", "dy", "vx", "vy"):
+            setattr(self, name, getattr(self, name)[perm])
+
+    def _phase_update_v(self) -> None:
+        ex_p, ey_p = self._interpolate()
+        coef = self._update_v_coef()
+        if coef == 1.0:  # hoisted: the multiply-free add
+            for p in range(self.n):
+                self.vx[p] += ex_p[p]
+                self.vy[p] += ey_p[p]
+        else:
+            for p in range(self.n):
+                self.vx[p] += coef * ex_p[p]
+                self.vy[p] += coef * ey_p[p]
+
+    def _phase_update_x(self) -> None:
+        g = self.grid
+        if self.config.hoisting:
+            sx = sy = 1.0
+        else:
+            sx, sy = self.dt / g.dx, self.dt / g.dy
+        variant = self.config.position_update
+        for p in range(self.n):
+            x = (int(self.ix[p]) + float(self.dx[p])) + sx * float(self.vx[p])
+            y = (int(self.iy[p]) + float(self.dy[p])) + sy * float(self.vy[p])
+            self.ix[p], self.dx[p] = push_axis_variant_ref(x, g.ncx, variant)
+            self.iy[p], self.dy[p] = push_axis_variant_ref(y, g.ncy, variant)
+        self.icell[:] = self.ordering.encode(self.ix, self.iy)
+
+    def _phase_accumulate(self) -> None:
+        self.fields.reset_rho()
+        if self.fields.layout == "redundant":
+            accumulate_redundant_ref(
+                self.fields.rho_1d, self.icell, self.dx, self.dy,
+                self._charge_factor,
+            )
+        else:
+            accumulate_standard_corner_major_ref(
+                self.fields.rho, self.ix, self.iy, self.dx, self.dy,
+                self._charge_factor,
+            )
+
+    def _phase_solve(self) -> None:
+        self.rho_grid = self.fields.rho_grid()
+        _, ex, ey = self.solver.solve(self.rho_grid)
+        self.ex_grid, self.ey_grid = ex, ey
+        self.fields.set_field_from_grid(
+            ex * self._field_scale_x, ey * self._field_scale_y
+        )
+
+    # -- the public step ----------------------------------------------
+    def step(self) -> None:
+        cfg = self.config
+        if cfg.sort_period and self.iteration and (
+            self.iteration % cfg.sort_period == 0
+        ):
+            self._phase_sort()
+        self._phase_update_v()
+        self._phase_update_x()
+        self._phase_accumulate()
+        self._phase_solve()
+        self.iteration += 1
+
+    def run(self, n_steps: int) -> None:
+        for _ in range(n_steps):
+            self.step()
+
+    def state(self) -> dict[str, np.ndarray]:
+        """Copies of the particle arrays plus the solved grid state."""
+        return {
+            "icell": self.icell.copy(), "ix": self.ix.copy(), "iy": self.iy.copy(),
+            "dx": self.dx.copy(), "dy": self.dy.copy(),
+            "vx": self.vx.copy(), "vy": self.vy.copy(),
+            "rho_grid": np.array(self.rho_grid),
+            "ex_grid": np.array(self.ex_grid), "ey_grid": np.array(self.ey_grid),
+        }

@@ -133,6 +133,16 @@ class PICStepper:
         #: per-phase wall-clock recorder; `.timings` is its cumulative view
         self.instrumentation = Instrumentation()
         self.timings: StepTimings = self.instrumentation.timings
+        #: optional ``hook(phase_name, stepper)`` called after each phase
+        #: of :meth:`step` completes — ``"sort"``, the particle-loop
+        #: phases (``"update_v"``/``"update_x"``/``"accumulate"`` when
+        #: split, ``"fused"``/``"accumulate"`` on the fused-backend
+        #: path, a single ``"accumulate"`` after the chunk loop on the
+        #: fused-chunked path) and ``"solve"``.  The differential
+        #: verifier's bisector (:mod:`repro.verify.differ`) uses this to
+        #: attribute a divergence to the kernel phase that produced it;
+        #: hooks must not mutate the stepper state.
+        self.phase_hook = None
         self.iteration = 0
         #: physical (Ex, Ey) at grid points from the latest solve
         self.ex_grid = np.zeros((grid.ncx, grid.ncy))
@@ -383,6 +393,7 @@ class PICStepper:
         """One iteration of Fig. 1's main loop (lines 4–13)."""
         cfg = self.config
         instr = self.instrumentation
+        hook = self.phase_hook
         with instr.step(self.particles.n):
             with instr.phase("sort"):
                 if (
@@ -391,6 +402,8 @@ class PICStepper:
                     and self.iteration
                 ):
                     self._phase_sort()
+            if hook is not None:
+                hook("sort", self)
 
             self.fields.reset_rho()
             path = self._select_loop_path()
@@ -398,15 +411,25 @@ class PICStepper:
             if path == "split":
                 with instr.phase("update_v"):
                     self._phase_update_v()
+                if hook is not None:
+                    hook("update_v", self)
                 with instr.phase("update_x"):
                     self._phase_update_x()
+                if hook is not None:
+                    hook("update_x", self)
                 with instr.phase("accumulate"):
                     self._phase_accumulate()
+                if hook is not None:
+                    hook("accumulate", self)
             elif path == "fused-backend":
                 with instr.phase("fused"):
                     self._phase_fused()
+                if hook is not None:
+                    hook("fused", self)
                 with instr.phase("accumulate"):
                     self._phase_accumulate()
+                if hook is not None:
+                    hook("accumulate", self)
             else:  # fused-chunked
                 n = self.particles.n
                 size = cfg.chunk_size
@@ -418,9 +441,15 @@ class PICStepper:
                         self._phase_update_x(sl)
                     with instr.phase("accumulate"):
                         self._phase_accumulate(sl)
+                # the chunk-interleaved phases are only comparable once
+                # every chunk has been kicked, pushed and deposited
+                if hook is not None:
+                    hook("accumulate", self)
 
             with instr.phase("solve"):
                 self._solve_fields()
+            if hook is not None:
+                hook("solve", self)
         self.iteration += 1
 
     def run(self, n_steps: int) -> None:

@@ -27,7 +27,7 @@ from repro.pic3d.kernels3d import (
     push_positions_bitwise_3d,
 )
 from repro.pic3d.poisson3d import SpectralPoissonSolver3D
-from repro.pic3d.stepper3d import LandauDamping3D, PICStepper3D
+from repro.pic3d.stepper3d import LandauDamping3D, PICStepper3D, TwoStream3D
 
 __all__ = [
     "Ordering3D",
@@ -42,4 +42,5 @@ __all__ = [
     "SpectralPoissonSolver3D",
     "PICStepper3D",
     "LandauDamping3D",
+    "TwoStream3D",
 ]

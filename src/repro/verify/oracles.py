@@ -1,0 +1,262 @@
+"""Physics acceptance oracles: is the simulation *right*, not just equal?
+
+The differential layer proves every execution combo computes the same
+numbers; these oracles check the numbers mean the correct physics.
+Each oracle runs a small, calibrated scenario on a chosen backend and
+holds one measured quantity to an expectation:
+
+* **Landau damping** — the field-energy envelope of a perturbed
+  Maxwellian must decay at the linear-theory rate (γ ≈ −0.1533 for
+  k=0.5, vth=1).  Finite N and grid resolution bias the measured rate,
+  so the tolerance (calibrated on the reference backend) is loose in
+  absolute terms but tight enough to catch a wrong solver sign, a
+  mis-scaled deposit, or a broken kick.
+* **Two-stream growth** — counter-streaming beams must go unstable
+  and e-fold at the predicted rate; this is the oracle most sensitive
+  to a broken field solve (no growth at all).
+* **Energy drift** — leap-frog on a periodic domain has no secular
+  energy sink; total energy must stay within a small envelope.
+* **Momentum conservation** — the self-consistent field exerts no net
+  force; total momentum change must stay at accumulation roundoff.
+* **3D two-stream** — the same growth check against the 3d3v stepper
+  (:mod:`repro.pic3d`), which otherwise has no instability-side test.
+
+Profiles are sized to run in a couple of seconds each, so the full
+battery is usable both from ``repro verify --oracles`` and from the
+(slow-marked) test suite.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import OptimizationConfig
+from repro.core.diagnostics import damping_rate_fit, growth_rate_fit, momentum
+from repro.core.simulation import Simulation
+from repro.grid.spec import GridSpec
+from repro.particles.initializers import LandauDamping, TwoStream
+
+__all__ = [
+    "OracleResult",
+    "landau_damping_oracle",
+    "two_stream_oracle",
+    "energy_drift_oracle",
+    "momentum_oracle",
+    "two_stream_3d_oracle",
+    "run_all_oracles",
+    "THEORY_LANDAU_RATE",
+    "THEORY_TWO_STREAM_RATE",
+]
+
+#: Linear Landau damping rate for k*lambda_D = 0.5 (k=0.5, vth=1).
+THEORY_LANDAU_RATE = -0.1533
+#: Cold symmetric two-stream maximum growth rate, γ_max = ω_p/(2√2):
+#: once past the initial transient the fastest-growing mode in the box
+#: dominates the field energy, so the late-window fit measures γ_max
+#: (slightly under it, from warm-beam corrections at vth/v0 ≈ 0.04).
+THEORY_TWO_STREAM_RATE = 1.0 / (2.0 * np.sqrt(2.0))
+
+
+@dataclass
+class OracleResult:
+    """One oracle's verdict: measured vs expected within tolerance."""
+
+    name: str
+    backend: str
+    measured: float
+    expected: float
+    tolerance: float
+    passed: bool
+    detail: str = ""
+    seconds: float = 0.0
+
+    def describe(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"{status} {self.name} [{self.backend}] measured "
+            f"{self.measured:+.4f} vs expected {self.expected:+.4f} "
+            f"(tol {self.tolerance:.3g}, {self.seconds:.1f}s)"
+            + (f" — {self.detail}" if self.detail else "")
+        )
+
+
+def _config(backend: str) -> OptimizationConfig:
+    return OptimizationConfig.fully_optimized("morton").with_(backend=backend)
+
+
+def landau_damping_oracle(backend: str = "numpy") -> OracleResult:
+    """Measured Landau damping rate vs linear theory.
+
+    Calibration (numpy backend, this exact profile): measured ≈
+    −0.135; theory −0.1533.  Finite-N noise floors the late-time
+    envelope, biasing the fit toward zero, hence the ±0.035 band.
+    """
+    t0 = time.time()
+    grid = GridSpec(32, 4, xmax=4 * np.pi, ymax=2 * np.pi)
+    case = LandauDamping(alpha=0.1, vth=1.0)
+    sim = Simulation(grid, case, 60_000, _config(backend), dt=0.1, quiet=True)
+    try:
+        sim.run(150)
+        rate = damping_rate_fit(
+            np.asarray(sim.history.field_energy),
+            np.asarray(sim.history.times),
+            t_min=0.5, t_max=11.0,
+        )
+    finally:
+        sim.close()
+    tol = 0.035
+    return OracleResult(
+        name="landau-damping-rate",
+        backend=backend,
+        measured=rate,
+        expected=THEORY_LANDAU_RATE,
+        tolerance=tol,
+        passed=abs(rate - THEORY_LANDAU_RATE) <= tol,
+        seconds=time.time() - t0,
+    )
+
+
+def two_stream_oracle(backend: str = "numpy") -> OracleResult:
+    """Measured two-stream growth rate vs the cold-beam prediction.
+
+    Calibration (numpy): measured ≈ +0.33 over the t ∈ [12, 22]
+    asymptotic window with the field energy amplified ~10^4 —
+    unambiguous instability at (slightly under) γ_max.
+    """
+    t0 = time.time()
+    grid = GridSpec(64, 4, xmax=10 * np.pi, ymax=2 * np.pi)
+    case = TwoStream(v0=2.4, vth=0.1, alpha=1e-3)
+    sim = Simulation(grid, case, 40_000, _config(backend), dt=0.1, quiet=True)
+    try:
+        sim.run(220)
+        fe = np.asarray(sim.history.field_energy)
+        times = np.asarray(sim.history.times)
+        rate = growth_rate_fit(fe, times, t_min=12.0, t_max=22.0)
+        amplification = float(fe[-1] / fe[0])
+    finally:
+        sim.close()
+    tol = 0.08
+    grew = amplification > 100.0
+    return OracleResult(
+        name="two-stream-growth-rate",
+        backend=backend,
+        measured=rate,
+        expected=THEORY_TWO_STREAM_RATE,
+        tolerance=tol,
+        passed=(abs(rate - THEORY_TWO_STREAM_RATE) <= tol) and grew,
+        detail=f"field energy amplified x{amplification:.0f}",
+        seconds=time.time() - t0,
+    )
+
+
+def energy_drift_oracle(backend: str = "numpy",
+                        max_drift: float = 0.05) -> OracleResult:
+    """Total-energy envelope over a Landau run stays within ``max_drift``."""
+    t0 = time.time()
+    grid = GridSpec(32, 8, xmax=4 * np.pi, ymax=2 * np.pi)
+    case = LandauDamping(alpha=0.1, vth=1.0)
+    sim = Simulation(grid, case, 20_000, _config(backend), dt=0.05, quiet=True)
+    try:
+        sim.run(200)
+        drift = sim.history.energy_drift()
+    finally:
+        sim.close()
+    return OracleResult(
+        name="energy-drift",
+        backend=backend,
+        measured=drift,
+        expected=0.0,
+        tolerance=max_drift,
+        passed=drift <= max_drift,
+        seconds=time.time() - t0,
+    )
+
+
+def momentum_oracle(backend: str = "numpy",
+                    max_change: float = 1e-9) -> OracleResult:
+    """Total momentum change stays at accumulation roundoff.
+
+    Roundoff scale: N ≈ 2·10^4 thermal-velocity terms summed per
+    component — drift ~1e-15 measured, so 1e-9 is a six-decade margin
+    that still catches any real force imbalance.
+    """
+    t0 = time.time()
+    grid = GridSpec(32, 8, xmax=4 * np.pi, ymax=2 * np.pi)
+    case = LandauDamping(alpha=0.1, vth=1.0)
+    sim = Simulation(grid, case, 20_000, _config(backend), dt=0.05, quiet=True)
+    try:
+        st = sim.stepper
+        p0 = momentum(*st.physical_velocities(), st.particles.weight, st.m)
+        sim.run(100)
+        p1 = momentum(*st.physical_velocities(), st.particles.weight, st.m)
+    finally:
+        sim.close()
+    change = math.hypot(p1[0] - p0[0], p1[1] - p0[1])
+    return OracleResult(
+        name="momentum-conservation",
+        backend=backend,
+        measured=change,
+        expected=0.0,
+        tolerance=max_change,
+        passed=change <= max_change,
+        seconds=time.time() - t0,
+    )
+
+
+def two_stream_3d_oracle(backend: str = "numpy") -> OracleResult:
+    """Two-stream growth on the 3d3v stepper (:mod:`repro.pic3d`).
+
+    Calibration (numpy): measured ≈ +0.30 on a 32x4x4 box over the
+    same asymptotic window as the 2D oracle — the 3D engine
+    reproduces the 1D-physics instability since the transverse
+    dynamics stay linear.
+    """
+    from repro.pic3d import GridSpec3D, PICStepper3D, TwoStream3D
+
+    t0 = time.time()
+    grid = GridSpec3D(32, 4, 4, xmax=10 * np.pi, ymax=2 * np.pi, zmax=2 * np.pi)
+    case = TwoStream3D(v0=2.4, vth=0.1, alpha=1e-3)
+    stepper = PICStepper3D(grid, case, 30_000, dt=0.1, backend=backend)
+    times, fe = [], []
+
+    def record():
+        e2 = (stepper.ex_grid**2 + stepper.ey_grid**2 + stepper.ez_grid**2)
+        times.append(stepper.iteration * stepper.dt)
+        fe.append(0.5 * float(np.sum(e2)) * grid.cell_volume)
+
+    record()
+    for _ in range(220):
+        stepper.step()
+        record()
+    rate = growth_rate_fit(np.asarray(fe), np.asarray(times), t_min=12.0, t_max=22.0)
+    amplification = float(fe[-1] / fe[0])
+    tol = 0.08
+    return OracleResult(
+        name="two-stream-growth-rate-3d",
+        backend=backend,
+        measured=rate,
+        expected=THEORY_TWO_STREAM_RATE,
+        tolerance=tol,
+        passed=(abs(rate - THEORY_TWO_STREAM_RATE) <= tol)
+        and amplification > 100.0,
+        detail=f"field energy amplified x{amplification:.0f}",
+        seconds=time.time() - t0,
+    )
+
+
+def run_all_oracles(backend: str = "numpy",
+                    include_3d: bool = True) -> list[OracleResult]:
+    """The full acceptance battery against one backend."""
+    results = [
+        landau_damping_oracle(backend),
+        two_stream_oracle(backend),
+        energy_drift_oracle(backend),
+        momentum_oracle(backend),
+    ]
+    if include_3d:
+        results.append(two_stream_3d_oracle(backend))
+    return results

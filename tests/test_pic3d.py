@@ -11,6 +11,7 @@ from repro.pic3d import (
     RedundantFields3D,
     RowMajor3DOrdering,
     SpectralPoissonSolver3D,
+    TwoStream3D,
     accumulate_redundant_3d,
     corner_weights_3d,
     interpolate_redundant_3d,
@@ -240,3 +241,24 @@ class TestStepper3D:
         for k in ("dx", "dy", "dz"):
             assert stepper.particles[k].min() >= 0
             assert stepper.particles[k].max() <= 1.0
+
+
+class TestTwoStream3D:
+    def test_beams_are_symmetric(self):
+        grid = GridSpec3D(32, 4, 4, xmax=10 * np.pi, ymax=2 * np.pi,
+                          zmax=2 * np.pi)
+        x, y, z, vx, vy, vz = TwoStream3D(v0=2.4, vth=0.1).sample(10_000, grid)
+        # two populations around +-v0, net drift ~ 0
+        assert abs(np.mean(vx)) < 0.1
+        assert np.std(vx) == pytest.approx(2.4, rel=0.05)
+        assert np.mean(vx > 0) == pytest.approx(0.5, abs=0.02)
+        # transverse components stay thermal
+        assert np.std(vy) == pytest.approx(0.1, rel=0.2)
+
+    @pytest.mark.slow
+    def test_instability_growth_rate(self):
+        """Two-stream growth on the 3D stepper via the shared oracle."""
+        from repro.verify.oracles import two_stream_3d_oracle
+
+        result = two_stream_3d_oracle("numpy")
+        assert result.passed, result.describe()

@@ -1,0 +1,315 @@
+"""Tests for the differential-verification subsystem (repro.verify).
+
+Covers the three layers the subsystem promises:
+
+* the seeded config-space sampler is deterministic and produces legal
+  scenarios;
+* the differential runner passes the promise matrix on real backends,
+  and its bisector pinpoints an injected single-phase perturbation to
+  the exact step/phase/array;
+* the scalar :class:`~repro.core.reference.ReferenceStepper` is the
+  bitwise baseline: it reproduces the numpy backend exactly over a
+  50-step run including counting sorts;
+* the golden gate fails on a corrupted digest and on a one-ULP series
+  perturbation, and skips cleanly for non-importable backends.
+"""
+
+import copy
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.config import OptimizationConfig
+from repro.core.reference import ReferenceStepper
+from repro.core.stepper import PICStepper
+from repro.grid.spec import GridSpec
+from repro.particles.initializers import LandauDamping
+from repro.verify import (
+    DifferentialRunner,
+    Perturbation,
+    Scenario,
+    ScenarioSampler,
+    check_golden,
+    generate_golden,
+    golden_cases,
+    load_golden,
+)
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+# ----------------------------------------------------------------------
+# Sampler
+# ----------------------------------------------------------------------
+class TestScenarioSampler:
+    def test_deterministic_for_same_seed(self):
+        a = ScenarioSampler(seed=7).sample(12)
+        b = ScenarioSampler(seed=7).sample(12)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = ScenarioSampler(seed=0).sample(12)
+        b = ScenarioSampler(seed=1).sample(12)
+        assert a != b
+
+    def test_scenarios_are_constructible(self):
+        # every sampled scenario must produce a valid grid + config on
+        # every backend-independent axis (pow2 grid => bitwise legal)
+        for s in ScenarioSampler(seed=3).sample(20):
+            grid = s.grid()
+            assert grid.pow2
+            cfg = s.config(backend="numpy")
+            assert cfg.ordering == s.ordering
+            assert s.case() is not None
+
+    def test_population_straddles_chunk_size(self):
+        pools = ScenarioSampler(seed=0).n_particles_pool
+        assert min(pools) <= 8192 < max(pools)
+
+
+def _small_scenario(**overrides) -> Scenario:
+    params = dict(
+        index=0, ncx=32, ncy=8, n_particles=1500, n_steps=6,
+        case_name="landau", ordering="morton", field_layout="redundant",
+        loop_mode="split", position_update="bitwise", hoisting=True,
+        sort_period=2, sort_variant="out-of-place", chunk_size=8192,
+        seed=11,
+    )
+    params.update(overrides)
+    return Scenario(**params)
+
+
+# ----------------------------------------------------------------------
+# Differential runner
+# ----------------------------------------------------------------------
+class TestDifferentialRunner:
+    def test_promise_matrix_small_sample(self):
+        """Fast tier-1 smoke: 3 sampled scenarios, zero divergences."""
+        runner = DifferentialRunner(include_mp=False)
+        reports = runner.run(ScenarioSampler(seed=0).sample(3))
+        for report in reports:
+            assert report.ok, report.describe()
+
+    def test_mp_combo_is_bitwise(self):
+        runner = DifferentialRunner(include_mp=True, mp_workers=2)
+        report = runner.run_scenario(_small_scenario())
+        mp = [p for p in report.pairs if p.combo.backend == "numpy-mp"]
+        assert mp and mp[0].relation == "bitwise"
+        assert report.ok, report.describe()
+
+    def test_fused_single_chunk_promised_bitwise(self):
+        runner = DifferentialRunner(include_mp=False)
+        combos = dict(
+            (c.backend + "/" + (c.loop_mode or ""), rel)
+            for c, rel in runner.combos(_small_scenario(n_particles=100))
+        )
+        assert combos["numpy/fused"] == "bitwise"
+        combos_big = dict(
+            (c.backend + "/" + (c.loop_mode or ""), rel)
+            for c, rel in runner.combos(_small_scenario(n_particles=9000))
+        )
+        assert combos_big["numpy/fused"] == "tolerance"
+
+    def test_bisection_pinpoints_injected_phase(self):
+        """A one-ULP bump at (step 2, update_v, vx) must be attributed
+        to exactly that step, phase and array."""
+        runner = DifferentialRunner(include_mp=False)
+        report = runner.run_scenario(
+            _small_scenario(),
+            perturbation=Perturbation(step=2, phase="update_v", array="vx"),
+        )
+        # the sort-variant-flip combo runs split loops, so update_v is
+        # a comparable checkpoint for it
+        split_pairs = [
+            p for p in report.pairs if p.combo.sort_variant is not None
+        ]
+        assert split_pairs, "expected a split-path combo in the matrix"
+        diverged = split_pairs[0]
+        assert not diverged.ok
+        assert diverged.divergence.step == 2
+        assert diverged.divergence.phase == "update_v"
+        assert diverged.divergence.array == "vx"
+
+    def test_injection_at_accumulate_localizes_to_accumulate(self):
+        runner = DifferentialRunner(include_mp=False)
+        report = runner.run_scenario(
+            _small_scenario(sort_period=0),
+            perturbation=Perturbation(step=1, phase="accumulate",
+                                      array="dx", factor=1.0 + 1e-9),
+        )
+        bad = [p for p in report.pairs if not p.ok]
+        assert bad, "perturbation must be detected"
+        assert all(p.divergence.step == 1 for p in bad)
+        assert all(p.divergence.phase == "accumulate" for p in bad)
+
+    def test_sort_permutation_check_runs(self):
+        runner = DifferentialRunner(include_mp=False)
+        report = runner.run_scenario(_small_scenario(sort_period=2))
+        assert report.sort_permutation_ok is True
+        report_nosort = runner.run_scenario(_small_scenario(sort_period=0))
+        assert report_nosort.sort_permutation_ok is None
+
+    @pytest.mark.verify_full
+    def test_promise_matrix_full(self):
+        """The full 16-sample matrix with the mp combo included."""
+        runner = DifferentialRunner(include_mp=True, mp_workers=2)
+        reports = runner.run(ScenarioSampler(seed=0).sample(16))
+        assert all(r.ok for r in reports), "\n".join(
+            r.describe() for r in reports if not r.ok
+        )
+
+
+# ----------------------------------------------------------------------
+# ReferenceStepper: the bitwise baseline (full step incl. counting sort)
+# ----------------------------------------------------------------------
+class TestReferenceBaseline:
+    def test_reference_matches_numpy_bitwise_50_steps(self):
+        grid = GridSpec(32, 8, xmax=4 * np.pi, ymax=2 * np.pi)
+        case = LandauDamping(alpha=0.1, vth=1.0)
+        cfg = OptimizationConfig(
+            field_layout="redundant", ordering="morton", loop_mode="split",
+            position_update="bitwise", hoisting=True, sort_period=10,
+            backend="numpy",
+        )
+        fast = PICStepper(grid, cfg, case=case, n_particles=300,
+                          seed=3, quiet=True)
+        ref = ReferenceStepper(grid, cfg, case=case, n_particles=300,
+                               seed=3, quiet=True)
+        try:
+            for step in range(50):
+                fast.step()
+                ref.step()
+                for name in ("icell", "dx", "dy", "vx", "vy"):
+                    a = np.asarray(getattr(fast.particles, name))
+                    b = getattr(ref, name)
+                    assert a.tobytes() == b.tobytes(), (step, name)
+                assert np.asarray(fast.rho_grid).tobytes() == \
+                    ref.rho_grid.tobytes(), step
+                assert np.asarray(fast.ex_grid).tobytes() == \
+                    ref.ex_grid.tobytes(), step
+        finally:
+            fast.close()
+
+    @pytest.mark.parametrize("layout,push,hoist", [
+        ("standard", "branch", False),
+        ("redundant", "modulo", True),
+    ])
+    def test_reference_matches_other_variants(self, layout, push, hoist):
+        grid = GridSpec(16, 8, xmax=4 * np.pi, ymax=2 * np.pi)
+        case = LandauDamping(alpha=0.1, vth=1.0)
+        cfg = OptimizationConfig(
+            field_layout=layout, ordering="row-major", loop_mode="split",
+            position_update=push, hoisting=hoist, sort_period=4,
+            backend="numpy",
+        )
+        fast = PICStepper(grid, cfg, case=case, n_particles=200,
+                          seed=5, quiet=True)
+        ref = ReferenceStepper(grid, cfg, case=case, n_particles=200,
+                               seed=5, quiet=True)
+        try:
+            fast.run(12)
+            ref.run(12)
+            for name in ("icell", "dx", "dy", "vx", "vy"):
+                a = np.asarray(getattr(fast.particles, name))
+                assert a.tobytes() == getattr(ref, name).tobytes(), name
+            assert np.asarray(fast.rho_grid).tobytes() == \
+                ref.rho_grid.tobytes()
+        finally:
+            fast.close()
+
+
+# ----------------------------------------------------------------------
+# Golden gate
+# ----------------------------------------------------------------------
+class TestGoldenGate:
+    @pytest.fixture(scope="class")
+    def landau_doc(self):
+        path = ROOT / "golden" / "GOLDEN_landau.json"
+        return load_golden(path)
+
+    def test_committed_golden_passes_on_numpy(self, landau_doc):
+        result = check_golden(landau_doc, "numpy")
+        assert result.ok, result.describe()
+
+    def test_corrupted_digest_fails(self, landau_doc):
+        bad = copy.deepcopy(landau_doc)
+        digest = bad["digests"][20]
+        bad["digests"][20] = ("0" if digest[0] != "0" else "1") + digest[1:]
+        result = check_golden(bad, "numpy")
+        assert not result.ok
+        assert any("digest" in m for m in result.mismatches)
+
+    def test_one_ulp_series_perturbation_fails(self, landau_doc):
+        bad = copy.deepcopy(landau_doc)
+        v = bad["series"]["field_energy"][10]
+        bad["series"]["field_energy"][10] = float(np.nextafter(v, np.inf))
+        result = check_golden(bad, "numpy")
+        assert not result.ok
+        assert any("field_energy" in m for m in result.mismatches)
+
+    def test_gate_tool_fails_on_corrupted_golden(self, landau_doc, tmp_path):
+        import sys
+
+        sys.path.insert(0, str(ROOT / "tools"))
+        try:
+            import verify_gate
+        finally:
+            sys.path.pop(0)
+        # corrupt one digest of one case, leave the other intact
+        for name in golden_cases():
+            src = ROOT / "golden" / f"GOLDEN_{name}.json"
+            (tmp_path / src.name).write_text(src.read_text())
+        bad = copy.deepcopy(landau_doc)
+        digest = bad["digests"][5]
+        bad["digests"][5] = ("f" if digest[0] != "f" else "e") + digest[1:]
+        (tmp_path / "GOLDEN_landau.json").write_text(json.dumps(bad))
+        rc = verify_gate.main(
+            ["--golden-dir", str(tmp_path), "--backend", "numpy"]
+        )
+        assert rc == 1
+
+    def test_gate_tool_skips_unimportable_backend(self, tmp_path, capsys):
+        import sys
+
+        sys.path.insert(0, str(ROOT / "tools"))
+        try:
+            import verify_gate
+        finally:
+            sys.path.pop(0)
+        from repro.core.backends import available_backends
+
+        if "numba" in available_backends():
+            pytest.skip("numba importable here; nothing to skip")
+        for name in golden_cases():
+            src = ROOT / "golden" / f"GOLDEN_{name}.json"
+            (tmp_path / src.name).write_text(src.read_text())
+        rc = verify_gate.main(
+            ["--golden-dir", str(tmp_path), "--backend", "numba"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "SKIP" in out
+
+    def test_missing_golden_reports_error(self, tmp_path):
+        import sys
+
+        sys.path.insert(0, str(ROOT / "tools"))
+        try:
+            import verify_gate
+        finally:
+            sys.path.pop(0)
+        rc = verify_gate.main(
+            ["--golden-dir", str(tmp_path / "nowhere"), "--backend", "numpy"]
+        )
+        assert rc == 2
+
+    @pytest.mark.verify_full
+    def test_regenerated_matches_committed(self):
+        """Regeneration is reproducible: fresh documents equal committed."""
+        for name in golden_cases():
+            committed = load_golden(ROOT / "golden" / f"GOLDEN_{name}.json")
+            fresh = generate_golden(name)
+            assert fresh["digests"] == committed["digests"], name
+            assert fresh["series"] == committed["series"], name

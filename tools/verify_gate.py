@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Golden-run regression gate: backends must reproduce the committed runs.
+
+For every committed ``golden/GOLDEN_*.json`` document and every
+importable backend, re-run the golden scenario and hold the result to
+the promise matrix (:mod:`repro.verify.golden`):
+
+* numpy and numpy-mp are **bitwise** backends: every per-step sha256
+  state digest and every diagnostic series value must match the
+  document exactly — a one-ULP change anywhere fails the gate;
+* numba (when importable) is a **tolerance** backend: the diagnostic
+  series must agree within the per-quantity tolerances recorded in
+  the document.
+
+Exit codes: 0 = all checks pass (or nothing to check), 1 = divergence
+from golden, 2 = missing/corrupt golden artifacts.  Backends whose
+dependencies are not importable are skipped with a message, never
+failed — the gate constrains what *can* run here.
+
+Wired into ``make verify-gate`` (and ``make check``).  After an
+*intentional* numerics change, regenerate with::
+
+    python tools/verify_gate.py --regenerate
+
+and commit the refreshed documents (workflow: docs/verification.md).
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+
+def main(argv=None):
+    from repro.core.backends import available_backends
+    from repro.verify.golden import (
+        check_golden,
+        generate_golden,
+        golden_cases,
+        load_golden,
+        save_golden,
+    )
+
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--golden-dir", type=Path, default=ROOT / "golden",
+                    help="directory of GOLDEN_*.json documents "
+                         "(default: <repo>/golden)")
+    ap.add_argument("--backend", action="append", default=None,
+                    help="check only this backend (repeatable; default: "
+                         "every importable backend)")
+    ap.add_argument("--regenerate", action="store_true",
+                    help="rewrite the golden documents from the reference "
+                         "path (numpy backend) instead of checking")
+    args = ap.parse_args(argv)
+
+    args.golden_dir.mkdir(parents=True, exist_ok=True)
+    paths = {name: args.golden_dir / f"GOLDEN_{name}.json"
+             for name in golden_cases()}
+
+    if args.regenerate:
+        for name, path in paths.items():
+            doc = generate_golden(name)
+            save_golden(doc, path)
+            print(f"verify-gate: regenerated {path} "
+                  f"({len(doc['digests']) - 1} steps)")
+        return 0
+
+    missing = [str(p) for p in paths.values() if not p.exists()]
+    if missing:
+        print("verify-gate: FAIL — missing golden artifacts: "
+              + ", ".join(missing)
+              + " (generate with: python tools/verify_gate.py --regenerate)")
+        return 2
+
+    backends = args.backend or list(available_backends())
+    importable = set(available_backends())
+    failures = 0
+    for requested in backends:
+        if requested not in importable:
+            print(f"verify-gate: SKIP backend {requested!r} — not importable "
+                  "in this environment")
+            continue
+        for name, path in paths.items():
+            try:
+                doc = load_golden(path)
+            except (ValueError, KeyError) as exc:
+                print(f"verify-gate: FAIL — corrupt golden {path}: {exc}")
+                return 2
+            result = check_golden(doc, requested)
+            print(f"verify-gate: {result.describe()}")
+            if not result.ok:
+                failures += 1
+
+    if failures:
+        print(f"verify-gate: FAIL — {failures} golden check(s) diverged "
+              "(if the numerics change was intentional, regenerate with "
+              "python tools/verify_gate.py --regenerate and commit)")
+        return 1
+    print("verify-gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
