@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-gate bench-scaling chaos examples results clean docs-check check verify-gate verify-full
+.PHONY: install test test-service bench bench-gate bench-scaling chaos examples results clean docs-check check verify-gate verify-full
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -13,7 +13,12 @@ test:
 docs-check:
 	$(PYTHON) tools/check_links.py
 
-check: docs-check chaos bench-gate verify-gate
+# fast service-layer subset: the multi-job engine (submit/cancel/
+# priority/preempt-resume/isolation) and the spool/CLI front-end
+test-service:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_service_engine.py tests/test_service_cli.py
+
+check: docs-check chaos bench-gate verify-gate test-service
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/
 
 # fault-injection suite under a fixed seed, then assert zero leaked

@@ -9,6 +9,11 @@ Commands:
 * ``misses`` — run a scaled cache-miss experiment (Table II style);
 * ``verify`` — differential cross-backend equivalence matrix, physics
   acceptance oracles, and the golden-run regression check;
+* ``serve`` — run the multi-job engine against a spool directory
+  (:mod:`repro.service`), multiplexing submitted jobs over a bounded
+  worker pool with priority scheduling and preemption;
+* ``submit`` — queue a job document into a spool directory for a
+  running (or later) ``serve``, optionally waiting for its result;
 * ``info`` — library, machine-preset and configuration summary.
 
 Everything the CLI prints is computed through the same public API the
@@ -162,6 +167,67 @@ def build_parser() -> argparse.ArgumentParser:
     ver.add_argument("--golden-dir", type=str, default=None, metavar="DIR",
                      help="directory of GOLDEN_*.json documents "
                      "(default: <repo>/golden)")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the multi-job engine against a spool directory",
+    )
+    srv.add_argument("--spool", required=True, metavar="DIR",
+                     help="spool directory (queue/, claimed/, results/ "
+                     "created as needed); submit jobs into it with "
+                     "'repro submit --spool DIR ...'")
+    srv.add_argument("--max-workers", type=int, default=2, metavar="N",
+                     help="concurrent jobs the engine runs (default: 2)")
+    srv.add_argument("--poll", type=float, default=0.2, metavar="SECS",
+                     help="queue polling interval (default: 0.2)")
+    srv.add_argument("--drain", action="store_true",
+                     help="exit once the queue is empty and every claimed "
+                     "job settled (batch-campaign mode); default is to "
+                     "serve until interrupted")
+    srv.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                     help="claim at most N jobs, then exit once they settle")
+    srv.add_argument("--data-dir", type=str, default=None, metavar="DIR",
+                     help="keep per-job checkpoint directories here "
+                     "(default: private temp dir, removed on exit)")
+
+    smt = sub.add_parser(
+        "submit",
+        help="queue a job document into a spool directory",
+    )
+    smt.add_argument("--spool", required=True, metavar="DIR",
+                     help="spool directory a 'repro serve' watches")
+    smt.add_argument("--case", choices=_CASES, default="landau")
+    smt.add_argument("--particles", type=int, default=10_000)
+    smt.add_argument("--steps", type=int, default=100)
+    smt.add_argument("--dt", type=float, default=0.05)
+    smt.add_argument("--alpha", type=float, default=None,
+                     help="perturbation amplitude (case default if omitted)")
+    smt.add_argument("--grid", type=int, nargs=2, default=(32, 16),
+                     metavar=("NCX", "NCY"))
+    smt.add_argument("--ordering", choices=_ORDERINGS, default="morton")
+    smt.add_argument("--backend", choices=("auto", "numpy", "numba", "numpy-mp"),
+                     default="numpy")
+    smt.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="worker-process count for --backend numpy-mp")
+    smt.add_argument("--seed", type=int, default=None,
+                     help="random start seed (default: quiet start)")
+    smt.add_argument("--priority", type=int, default=0,
+                     help="scheduling priority: higher runs first and may "
+                     "preempt running lower-priority jobs (default: 0)")
+    smt.add_argument("--checkpoint-every", type=int, default=25, metavar="N",
+                     help="steps between the job's rotation checkpoints — "
+                     "the rollback and preemption-loss granularity "
+                     "(default: 25)")
+    smt.add_argument("--guards", type=str, default="default", metavar="SPEC",
+                     help="guard spec for the job's supervised run "
+                     "(default: 'default')")
+    smt.add_argument("--job-id", type=str, default=None, metavar="ID",
+                     help="explicit job id (default: generated)")
+    smt.add_argument("--wait", action="store_true",
+                     help="block until the job's result document appears "
+                     "and print its summary")
+    smt.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                     help="with --wait: give up after this many seconds")
 
     sub.add_parser("info", help="library and machine-preset summary")
     return parser
@@ -393,6 +459,72 @@ def _cmd_verify(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import serve_spool
+
+    def on_settle(job_id, doc):
+        drift = doc.get("energy_drift")
+        extra = f" drift={drift:.3e}" if drift is not None else ""
+        if doc.get("error"):
+            extra += f" [{doc['error']}]"
+        print(f"settled {job_id}: {doc['state']} "
+              f"{doc['steps_done']}/{doc['steps_total']} steps, "
+              f"{doc['preemptions']} preemption(s){extra}")
+
+    print(f"serving spool {args.spool} with {args.max_workers} worker(s)"
+          + (" (drain mode)" if args.drain else " (Ctrl-C to stop)"))
+    settled = serve_spool(
+        args.spool,
+        max_workers=args.max_workers,
+        poll=args.poll,
+        drain=args.drain,
+        max_jobs=args.max_jobs,
+        data_dir=args.data_dir,
+        on_settle=on_settle,
+    )
+    print(f"served {settled} job(s)")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import PICJob, submit_to_spool, wait_for_result
+
+    job = PICJob(
+        case=args.case,
+        grid=tuple(args.grid),
+        n_particles=args.particles,
+        steps=args.steps,
+        dt=args.dt,
+        alpha=args.alpha,
+        ordering=args.ordering,
+        backend=args.backend,
+        workers=args.workers,
+        seed=args.seed,
+        priority=args.priority,
+        checkpoint_every=args.checkpoint_every,
+        guards=args.guards,
+    )
+    job_id = submit_to_spool(args.spool, job, job_id=args.job_id)
+    print(f"submitted {job_id}: {job.describe()}")
+    if not args.wait:
+        return 0
+    try:
+        doc = wait_for_result(args.spool, job_id, timeout=args.timeout)
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 4
+    drift = doc.get("energy_drift")
+    print(f"result   : {doc['state']} "
+          f"({doc['steps_done']}/{doc['steps_total']} steps, "
+          f"{doc['preemptions']} preemption(s), "
+          f"{doc['segments']} segment(s))")
+    if drift is not None:
+        print(f"drift    : {drift:.3e}")
+    if doc.get("error"):
+        print(f"error    : {doc['error']}", file=sys.stderr)
+    return 0 if doc["state"] == "succeeded" else 1
+
+
 def _cmd_info(_args) -> int:
     import os
 
@@ -443,6 +575,8 @@ def main(argv=None) -> int:
         "tune-sort": _cmd_tune_sort,
         "misses": _cmd_misses,
         "verify": _cmd_verify,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
         "info": _cmd_info,
     }
     try:

@@ -76,6 +76,14 @@ class Simulation:
     Parameters mirror :class:`~repro.core.stepper.PICStepper`;
     ``mode_x``/``mode_y`` pick the spatial mode tracked in the history
     (defaults to the first x mode, the one the test cases perturb).
+
+    A simulation is *engine-drivable*: besides :meth:`run`, the
+    single-step unit :meth:`step` is public, an :attr:`on_step`
+    observer fires after every recorded step (how the job engine in
+    :mod:`repro.service` streams per-step diagnostics), and
+    :meth:`from_stepper` wraps an already-built stepper — e.g. one
+    restored by :func:`repro.core.checkpoint.load_checkpoint` — so a
+    parked job resumes without re-running initialization.
     """
 
     def __init__(
@@ -107,6 +115,13 @@ class Simulation:
         self.mode_x = mode_x
         self.mode_y = mode_y
         self.history = SimulationHistory()
+        #: optional ``observer(sim)`` called after each completed and
+        #: recorded step.  Observers must not mutate simulation state
+        #: and must not raise: under a
+        #: :class:`~repro.resilience.supervisor.SupervisedRun` an
+        #: observer exception is indistinguishable from a step failure
+        #: and triggers a rollback.
+        self.on_step = None
         try:
             self._record()
         except BaseException:
@@ -115,6 +130,44 @@ class Simulation:
             # stepper came up
             self.close()
             raise
+
+    @classmethod
+    def from_stepper(
+        cls,
+        stepper,
+        *,
+        history: SimulationHistory | None = None,
+        mode_x: int = 1,
+        mode_y: int = 0,
+    ) -> "Simulation":
+        """Wrap an existing stepper without re-running initialization.
+
+        The entry point for checkpoint resume: pass the stepper
+        returned by :func:`repro.core.checkpoint.load_checkpoint` and,
+        to continue an interrupted run seamlessly, the
+        :class:`SimulationHistory` accumulated before the interruption
+        (its entries must end at the stepper's current iteration).
+        With no ``history`` (or an empty one) the current state is
+        recorded as the initial entry, exactly as ``__init__`` does.
+
+        The simulation takes ownership of the stepper: :meth:`close`
+        closes it.
+        """
+        sim = cls.__new__(cls)
+        sim.config = stepper.config
+        sim._closed = False
+        sim.stepper = stepper
+        sim.mode_x = mode_x
+        sim.mode_y = mode_y
+        sim.history = history if history is not None else SimulationHistory()
+        sim.on_step = None
+        if not sim.history.times:
+            try:
+                sim._record()
+            except BaseException:
+                sim.close()
+                raise
+        return sim
 
     # ------------------------------------------------------------------
     def _record(self) -> None:
@@ -146,6 +199,8 @@ class Simulation:
         """
         self.stepper.step()
         self._record()
+        if self.on_step is not None:
+            self.on_step(self)
 
     def run(self, n_steps: int) -> SimulationHistory:
         """Advance ``n_steps``, recording diagnostics after each step."""

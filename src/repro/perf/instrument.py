@@ -195,6 +195,11 @@ class Instrumentation:
     #: degradations) attached by ``SupervisedRun``; ``None`` for
     #: unsupervised runs and omitted from :meth:`as_record` while unset
     supervisor: dict | None = None
+    #: machine-readable job-engine context (job id, priority,
+    #: preemptions, segment count, queue wait) attached by
+    #: :class:`repro.service.JobEngine` to each job's ledger; ``None``
+    #: outside the engine and omitted from :meth:`as_record` while unset
+    engine: dict | None = None
 
     def __post_init__(self):
         self._current: dict | None = None
@@ -272,7 +277,8 @@ class Instrumentation:
         """Cumulative timings plus the per-step series, one JSON object.
 
         Supervised runs additionally carry the supervisor's run report
-        under the ``"supervisor"`` key.
+        under the ``"supervisor"`` key; engine-managed jobs carry their
+        scheduling context under ``"engine"``.
         """
         rec = {
             "cumulative": self.timings.as_record(),
@@ -280,6 +286,8 @@ class Instrumentation:
         }
         if self.supervisor is not None:
             rec["supervisor"] = dict(self.supervisor)
+        if self.engine is not None:
+            rec["engine"] = dict(self.engine)
         return rec
 
     def to_json(self, **dumps_kwargs) -> str:

@@ -257,15 +257,26 @@ class SupervisedRun:
         self.instrumentation.supervisor = self.report.as_dict()
 
     # ------------------------------------------------------------------
-    def run(self, n_steps: int):
+    def run(self, n_steps: int, *, should_yield=None):
         """Advance ``n_steps`` (counted in *completed* simulation steps
         — rolled-back work is re-run, not double-counted) and return
-        the simulation history."""
+        the simulation history.
+
+        ``should_yield`` is an optional zero-argument callable polled
+        before every step; when it returns true the run stops cleanly
+        at the current iteration boundary (state fully consistent,
+        report published) and ``run`` returns early.  The job engine
+        (:mod:`repro.service`) uses this for cooperative preemption and
+        cancellation: yield, then :meth:`park` the exact state, then
+        resume later from the parked checkpoint.
+        """
         stepper = self.sim.stepper
         target = stepper.iteration + int(n_steps)
         if not self.rotation.existing():
             self._checkpoint()
         while self.sim.stepper.iteration < target:
+            if should_yield is not None and should_yield():
+                break
             stepper = self.sim.stepper
             step_index = stepper.iteration
             try:
@@ -290,6 +301,23 @@ class SupervisedRun:
                 self._checkpoint()
         self._publish_report()
         return self.sim.history
+
+    def park(self) -> pathlib.Path:
+        """Checkpoint the *current* iteration into the rotation.
+
+        Unlike the cadence checkpoints :meth:`run` writes every
+        ``checkpoint_every`` steps, this captures the state exactly
+        where the run stopped — the preemption primitive: after a
+        ``should_yield`` early return, ``park()`` then :meth:`close`
+        leaves a rotation whose newest entry resumes the run
+        bit-exactly (checkpoint save/restore round-trips every array
+        verbatim).  Returns the path written.  Counted in the report
+        like any other checkpoint.
+        """
+        path = self.rotation.path_for(self.sim.stepper.iteration)
+        if not path.exists():
+            self._checkpoint()
+        return path
 
     # ------------------------------------------------------------------
     def _checkpoint(self) -> None:

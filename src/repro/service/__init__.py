@@ -1,0 +1,70 @@
+"""repro.service — simulation-as-a-service: the async multi-job engine.
+
+The single-run library (:class:`~repro.core.simulation.Simulation`)
+is the wrong shape for many users submitting many runs.  This package
+is the serving shape: a long-running engine that multiplexes many
+simulation jobs over one bounded worker pool, with priority
+scheduling, checkpoint-based preemption/resume, per-job fault
+isolation (each job runs under its own
+:class:`~repro.resilience.supervisor.SupervisedRun`), streamed
+per-step diagnostics, and engine-level instrumentation.
+
+Three layers, outermost first:
+
+* :class:`JobClient` / :class:`JobHandle`
+  (:mod:`repro.service.client`) — the estimator-style facade: build a
+  config object, ``submit()``, collect ``result()``.
+* :class:`JobEngine` (:mod:`repro.service.engine`) — the engine
+  proper: submit / status / cancel / preempt / result / stream over a
+  priority queue and a bounded worker pool.
+* :class:`PICJob`, :class:`JobState`, :class:`JobInfo`,
+  :class:`JobResult` (:mod:`repro.service.job`) — the job vocabulary:
+  an immutable serializable run description and the lifecycle types.
+
+The process-boundary front-end (``repro serve`` / ``repro submit``)
+lives in :mod:`repro.service.spool`.  The operator manual — lifecycle
+state machine, preemption semantics, fairness policy and the
+failure-handling matrix — is ``docs/service.md``.
+
+Quickstart::
+
+    from repro.service import JobClient, PICJob
+
+    jobs = [PICJob(case="landau", n_particles=n, steps=100)
+            for n in (10_000, 20_000)]
+    with JobClient(max_workers=2) as client:
+        for handle in client.map(jobs):
+            print(handle.job_id, handle.result().energy_drift())
+"""
+
+from repro.service.client import JobClient, JobHandle
+from repro.service.engine import (
+    EngineClosedError,
+    EngineStats,
+    JobEngine,
+    UnknownJobError,
+)
+from repro.service.job import JobInfo, JobResult, JobState, PICJob
+from repro.service.spool import (
+    read_result,
+    serve_spool,
+    submit_to_spool,
+    wait_for_result,
+)
+
+__all__ = [
+    "PICJob",
+    "JobState",
+    "JobInfo",
+    "JobResult",
+    "JobEngine",
+    "EngineStats",
+    "EngineClosedError",
+    "UnknownJobError",
+    "JobClient",
+    "JobHandle",
+    "submit_to_spool",
+    "read_result",
+    "wait_for_result",
+    "serve_spool",
+]

@@ -1,0 +1,126 @@
+"""The high-level facade: :class:`JobClient` and :class:`JobHandle`.
+
+The estimator-style front door of the service layer, shaped like
+Falkon's config-object + ``fit``/``predict`` idiom: you construct a
+:class:`~repro.service.job.PICJob` (pure data, no resources), hand it
+to :meth:`JobClient.submit`, and get back a :class:`JobHandle` whose
+methods — :meth:`~JobHandle.status`, :meth:`~JobHandle.result`,
+:meth:`~JobHandle.stream`, :meth:`~JobHandle.cancel` — are the only
+API most callers need.  The client owns (or borrows) a
+:class:`~repro.service.engine.JobEngine` and closes it on exit when it
+owns it.
+
+Usage::
+
+    from repro.service import JobClient, PICJob
+
+    sweep = [PICJob(case="landau", n_particles=n, steps=100)
+             for n in (10_000, 20_000, 40_000)]
+    with JobClient(max_workers=2) as client:
+        handles = [client.submit(job) for job in sweep]
+        for h in handles:
+            result = h.result()           # blocks until terminal
+            print(h.job_id, result.state.value, result.energy_drift())
+"""
+
+from __future__ import annotations
+
+from repro.service.engine import JobEngine
+from repro.service.job import JobInfo, JobResult, PICJob
+
+__all__ = ["JobClient", "JobHandle"]
+
+
+class JobHandle:
+    """A submitted job, as seen by the submitter.
+
+    Thin and stateless: every method delegates to the engine, so
+    handles are cheap, hashable by id, and remain valid for as long as
+    the engine keeps the job's record (its whole lifetime).
+    """
+
+    def __init__(self, engine: JobEngine, job_id: str, job: PICJob):
+        self._engine = engine
+        self.job_id = job_id
+        self.job = job
+
+    def status(self) -> JobInfo:
+        """A point-in-time status snapshot."""
+        return self._engine.status(self.job_id)
+
+    def result(self, timeout: float | None = None) -> JobResult:
+        """Block until terminal; raises :class:`TimeoutError` on
+        ``timeout`` seconds without one."""
+        return self._engine.result(self.job_id, timeout=timeout)
+
+    def cancel(self) -> bool:
+        """Cancel the job; ``True`` when the cancellation took effect."""
+        return self._engine.cancel(self.job_id)
+
+    def preempt(self) -> bool:
+        """Force the job to park and requeue (no-op unless running)."""
+        return self._engine.preempt(self.job_id)
+
+    def stream(self, *, timeout: float | None = None):
+        """Per-step diagnostic events until terminal (at-least-once
+        per step; see :meth:`repro.service.engine.JobEngine.stream`)."""
+        return self._engine.stream(self.job_id, timeout=timeout)
+
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self.status().state.terminal
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JobHandle({self.job_id!r}, {self.status().state.value})"
+
+
+class JobClient:
+    """Submit-and-collect facade over a :class:`JobEngine`.
+
+    Parameters
+    ----------
+    engine:
+        An existing engine to submit into; the client then *borrows*
+        it and leaves it open on exit.  ``None`` (default) creates a
+        private engine, closed when the client closes.
+    max_workers, data_dir:
+        Forwarded to the private :class:`JobEngine` (ignored when an
+        ``engine`` is passed).
+    """
+
+    def __init__(self, engine: JobEngine | None = None, *,
+                 max_workers: int = 2, data_dir=None):
+        self._owns_engine = engine is None
+        self.engine = engine if engine is not None else JobEngine(
+            max_workers=max_workers, data_dir=data_dir,
+        )
+
+    # ------------------------------------------------------------------
+    def submit(self, job: PICJob, **kwargs) -> JobHandle:
+        """Queue a job and return its :class:`JobHandle`."""
+        job_id = self.engine.submit(job, **kwargs)
+        return JobHandle(self.engine, job_id, job)
+
+    def map(self, jobs) -> list[JobHandle]:
+        """Submit an iterable of jobs; handles in submission order."""
+        return [self.submit(job) for job in jobs]
+
+    def gather(self, handles, timeout: float | None = None) -> list[JobResult]:
+        """Results for ``handles``, in order (blocks on each)."""
+        return [h.result(timeout=timeout) for h in handles]
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Wait until every submitted job is terminal."""
+        return self.engine.join(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the engine if this client created it (idempotent)."""
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "JobClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

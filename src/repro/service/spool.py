@@ -1,0 +1,190 @@
+"""File-spool front-end: how ``repro submit`` talks to ``repro serve``.
+
+The service layer's process boundary is a plain directory — no
+sockets, no daemons to misconfigure, works over any shared
+filesystem.  Layout::
+
+    <spool>/
+      queue/     job-*.json       submitted, not yet claimed
+      claimed/   job-*.json       claimed by a serving engine
+      results/   job-*.json       terminal outcome (summary record)
+
+``repro submit`` writes a job document into ``queue/`` atomically
+(tmp + rename, the checkpoint module's crash-safety idiom — a reader
+never sees a torn document).  ``repro serve`` runs a
+:class:`~repro.service.engine.JobEngine`, polls ``queue/``, claims
+documents by renaming them into ``claimed/`` (an atomic rename: two
+servers polling one spool never double-run a job), and writes each
+job's :meth:`~repro.service.job.JobResult.summary` into ``results/``
+when it settles.  ``repro submit --wait`` simply polls ``results/``.
+
+Job documents are ``{"job": <PICJob.as_dict()>, "id": ...}``; result
+documents are the summary dict plus the full diagnostic series.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import pathlib
+import time
+import uuid
+
+from repro.service.engine import JobEngine
+from repro.service.job import PICJob
+
+__all__ = ["submit_to_spool", "read_result", "wait_for_result",
+           "serve_spool", "spool_dirs"]
+
+logger = logging.getLogger("repro.service")
+
+
+def spool_dirs(spool) -> tuple[pathlib.Path, pathlib.Path, pathlib.Path]:
+    """Ensure and return the spool's (queue, claimed, results) dirs."""
+    root = pathlib.Path(spool)
+    dirs = (root / "queue", root / "claimed", root / "results")
+    for d in dirs:
+        d.mkdir(parents=True, exist_ok=True)
+    return dirs
+
+
+def _write_json_atomic(path: pathlib.Path, payload: dict) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def submit_to_spool(spool, job: PICJob, *, job_id: str | None = None) -> str:
+    """Write a job document into the spool's queue; returns its id."""
+    queue, _, _ = spool_dirs(spool)
+    if job_id is None:
+        job_id = f"job-{uuid.uuid4().hex[:12]}"
+    doc = {"id": job_id, "job": job.as_dict()}
+    _write_json_atomic(queue / f"{job_id}.json", doc)
+    return job_id
+
+
+def read_result(spool, job_id: str) -> dict | None:
+    """The result document for ``job_id``, or ``None`` if not settled."""
+    _, _, results = spool_dirs(spool)
+    path = results / f"{job_id}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def wait_for_result(spool, job_id: str, *, timeout: float | None = None,
+                    poll: float = 0.2) -> dict:
+    """Poll ``results/`` until the job settles; raises
+    :class:`TimeoutError` after ``timeout`` seconds."""
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        doc = read_result(spool, job_id)
+        if doc is not None:
+            return doc
+        if deadline is not None and time.monotonic() > deadline:
+            raise TimeoutError(f"no result for {job_id} after {timeout}s")
+        time.sleep(poll)
+
+
+def _claim(queue: pathlib.Path, claimed: pathlib.Path,
+           limit: int | None = None) -> list[dict]:
+    """Atomically claim up to ``limit`` queued documents (all when
+    ``None``); returns the parsed docs.
+
+    Unparsable documents are renamed to ``*.rejected`` in place (with
+    a log line) rather than crashing the server or being retried
+    forever.  Documents beyond ``limit`` are left in ``queue/`` for
+    another server.
+    """
+    docs = []
+    for path in sorted(queue.glob("*.json")):
+        if limit is not None and len(docs) >= limit:
+            break
+        target = claimed / path.name
+        try:
+            os.replace(path, target)  # atomic claim: losers skip
+        except OSError:
+            continue
+        try:
+            doc = json.loads(target.read_text(encoding="utf-8"))
+            doc["job"] = PICJob.from_dict(doc["job"])
+            if "id" not in doc:
+                raise KeyError("id")
+        except (json.JSONDecodeError, KeyError, TypeError,
+                ValueError) as exc:
+            logger.warning("rejecting unparsable job document %s: %s",
+                           target.name, exc)
+            os.replace(target, target.with_suffix(".rejected"))
+            continue
+        docs.append(doc)
+    return docs
+
+
+def serve_spool(spool, *, max_workers: int = 2, poll: float = 0.2,
+                drain: bool = False, max_jobs: int | None = None,
+                data_dir=None, on_settle=None) -> int:
+    """Run a :class:`JobEngine` against a spool directory.
+
+    Claims queued job documents, submits them, and writes a result
+    document as each settles.  Returns the number of jobs settled.
+
+    ``drain``:
+        Exit once the queue is empty and every claimed job is
+        terminal — the batch-campaign mode (``repro serve --drain``);
+        without it the server polls forever (Ctrl-C to stop; running
+        jobs are parked by the engine's shutdown).
+    ``max_jobs``:
+        Stop claiming after this many jobs and exit once they settle.
+    ``on_settle``:
+        Optional ``callback(job_id, result_dict)`` after each result
+        document is written (the CLI prints a line per job).
+    """
+    queue, claimed, results = spool_dirs(spool)
+    settled: set[str] = set()
+    submitted: dict[str, str] = {}  # engine job id -> spool id
+    claimed_count = 0
+    with JobEngine(max_workers=max_workers, data_dir=data_dir) as engine:
+        try:
+            while True:
+                if max_jobs is None or claimed_count < max_jobs:
+                    limit = (None if max_jobs is None
+                             else max_jobs - claimed_count)
+                    for doc in _claim(queue, claimed, limit):
+                        spool_id = doc["id"]
+                        job = doc["job"]
+                        try:
+                            engine_id = engine.submit(job, job_id=spool_id)
+                        except ValueError as exc:  # duplicate id resubmitted
+                            logger.warning("skipping %s: %s", spool_id, exc)
+                            continue
+                        submitted[engine_id] = spool_id
+                        claimed_count += 1
+                        logger.info("claimed %s: %s", spool_id,
+                                    job.describe())
+                for engine_id, spool_id in list(submitted.items()):
+                    if spool_id in settled:
+                        continue
+                    info = engine.status(engine_id)
+                    if not info.state.terminal:
+                        continue
+                    result = engine.result(engine_id)
+                    doc = result.summary()
+                    doc["id"] = spool_id
+                    _write_json_atomic(results / f"{spool_id}.json", doc)
+                    settled.add(spool_id)
+                    (claimed / f"{spool_id}.json").unlink(missing_ok=True)
+                    if on_settle is not None:
+                        on_settle(spool_id, doc)
+                done_claiming = (max_jobs is not None
+                                 and claimed_count >= max_jobs)
+                queue_empty = not any(queue.glob("*.json"))
+                all_settled = len(settled) == len(submitted)
+                if (drain or done_claiming) and all_settled and (
+                        queue_empty or done_claiming):
+                    return len(settled)
+                time.sleep(poll)
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            logger.info("interrupted; parking running jobs")
+            return len(settled)

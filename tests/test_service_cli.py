@@ -1,0 +1,181 @@
+"""Tests for the service front-ends: the spool protocol, the
+``repro serve`` / ``repro submit`` CLI pair, and the link-checker's
+anchor validation (the docs half of the service PR)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.service import (
+    PICJob,
+    read_result,
+    serve_spool,
+    submit_to_spool,
+    wait_for_result,
+)
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def fast_args(**overrides):
+    base = dict(grid=(16, 16), n_particles=1500, steps=12, backend="numpy")
+    base.update(overrides)
+    return base
+
+
+# ----------------------------------------------------------------------
+# Spool protocol
+# ----------------------------------------------------------------------
+class TestSpool:
+    def test_round_trip(self, tmp_path):
+        spool = tmp_path / "spool"
+        a = submit_to_spool(spool, PICJob(**fast_args()))
+        b = submit_to_spool(spool, PICJob(**fast_args(case="two-stream",
+                                                      priority=4)))
+        assert read_result(spool, a) is None
+        settled = serve_spool(spool, max_workers=2, drain=True, poll=0.05)
+        assert settled == 2
+        doc_a = read_result(spool, a)
+        doc_b = read_result(spool, b)
+        assert doc_a["state"] == "succeeded" and doc_b["state"] == "succeeded"
+        assert doc_a["steps_done"] == 12
+        assert doc_a["energy_drift"] is not None
+        assert len(doc_a["series"]["times"]) == 13
+        assert "timings" in doc_a and "engine" in doc_a
+        # spool hygiene: queue and claimed both drained
+        assert not list((spool / "queue").glob("*.json"))
+        assert not list((spool / "claimed").glob("*.json"))
+
+    def test_wait_for_result_timeout(self, tmp_path):
+        spool = tmp_path / "spool"
+        jid = submit_to_spool(spool, PICJob(**fast_args()))
+        with pytest.raises(TimeoutError):
+            wait_for_result(spool, jid, timeout=0.2, poll=0.05)
+
+    def test_unparsable_document_rejected_not_fatal(self, tmp_path):
+        spool = tmp_path / "spool"
+        good = submit_to_spool(spool, PICJob(**fast_args(steps=6)))
+        (spool / "queue" / "garbage.json").write_text("{not json")
+        (spool / "queue" / "badjob.json").write_text(
+            json.dumps({"id": "badjob", "job": {"case": "nope"}}))
+        settled = serve_spool(spool, max_workers=1, drain=True, poll=0.05)
+        assert settled == 1
+        assert read_result(spool, good)["state"] == "succeeded"
+        rejected = {p.name for p in (spool / "claimed").glob("*.rejected")}
+        assert rejected == {"garbage.rejected", "badjob.rejected"}
+
+    def test_failed_job_settles_with_error(self, tmp_path):
+        spool = tmp_path / "spool"
+        # 12x12 cannot build a Morton ordering: permanent build failure
+        jid = submit_to_spool(spool, PICJob(**fast_args(grid=(12, 12))))
+        serve_spool(spool, max_workers=1, drain=True, poll=0.05)
+        doc = read_result(spool, jid)
+        assert doc["state"] == "failed"
+        assert doc["error"]
+
+    def test_max_jobs_limits_claims(self, tmp_path):
+        spool = tmp_path / "spool"
+        for _ in range(3):
+            submit_to_spool(spool, PICJob(**fast_args(steps=5)))
+        settled = serve_spool(spool, max_workers=1, drain=True,
+                              max_jobs=2, poll=0.05)
+        assert settled == 2
+        assert len(list((spool / "queue").glob("*.json"))) == 1
+
+
+# ----------------------------------------------------------------------
+# CLI: parsing and end-to-end
+# ----------------------------------------------------------------------
+class TestServiceCLI:
+    def test_parser_accepts_serve_and_submit(self):
+        p = build_parser()
+        a = p.parse_args(["serve", "--spool", "/tmp/x", "--drain",
+                          "--max-workers", "3", "--max-jobs", "5"])
+        assert a.command == "serve" and a.max_workers == 3 and a.drain
+        b = p.parse_args(["submit", "--spool", "/tmp/x", "--case",
+                          "two-stream", "--priority", "7", "--wait",
+                          "--timeout", "30"])
+        assert b.command == "submit" and b.priority == 7 and b.wait
+
+    def test_submit_then_serve_then_wait(self, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        rc = main(["submit", "--spool", spool, "--case", "landau",
+                   "--grid", "16", "16", "--particles", "1500",
+                   "--steps", "10", "--job-id", "cli-a"])
+        assert rc == 0
+        assert "submitted cli-a" in capsys.readouterr().out
+        rc = main(["serve", "--spool", spool, "--max-workers", "1",
+                   "--drain", "--poll", "0.05"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "settled cli-a: succeeded 10/10" in out
+        assert "served 1 job(s)" in out
+        # --wait on an already-settled job returns its summary
+        rc = main(["submit", "--spool", spool, "--job-id", "cli-a",
+                   "--wait", "--timeout", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "result   : succeeded" in out
+
+    def test_submit_validation_error_is_exit_2(self, tmp_path, capsys):
+        rc = main(["submit", "--spool", str(tmp_path / "s"),
+                   "--steps", "0"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# check_links: anchor-fragment validation
+# ----------------------------------------------------------------------
+def _load_check_links():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", REPO / "tools" / "check_links.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestCheckLinksAnchors:
+    @pytest.fixture(scope="class")
+    def cl(self):
+        return _load_check_links()
+
+    def test_duplicate_heading_suffixes(self, cl):
+        slugs = cl.slug_sequence(["Knobs", "Other", "Knobs", "Knobs"])
+        assert slugs == {"knobs", "other", "knobs-1", "knobs-2"}
+
+    def test_anchor_checking_end_to_end(self, cl, tmp_path, monkeypatch):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "# Title\n## Knobs\n## Knobs\n"
+            "[ok](#knobs)\n[ok2](#knobs-1)\n[bad](#knobs-2)\n"
+            "[ok3](other.md#there)\n[bad2](other.md#missing)\n"
+        )
+        (tmp_path / "other.md").write_text("# There\n")
+        monkeypatch.setattr(cl, "REPO", tmp_path)
+        errors = cl.check_file(page)
+        assert len(errors) == 2
+        assert any("#knobs-2" in e for e in errors)
+        assert any("#missing" in e for e in errors)
+
+    def test_code_fences_ignored(self, cl, tmp_path, monkeypatch):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "# Title\n```md\n[fake](#nowhere)\n## Fake Heading\n```\n"
+            "[real](#title)\n")
+        monkeypatch.setattr(cl, "REPO", tmp_path)
+        assert cl.check_file(page) == []
+
+    def test_repo_docs_have_no_broken_links(self, cl):
+        """The committed docs must pass the checker (mirrors
+        ``make docs-check`` so the failure shows up in pytest too)."""
+        errors = []
+        for pattern in cl.DOC_GLOBS:
+            for path in sorted(cl.REPO.glob(pattern)):
+                errors.extend(cl.check_file(path))
+        assert errors == []

@@ -8,6 +8,11 @@ for Markdown links and verifies that
 * pure-anchor links (``#section``) match a heading in the same file,
 * anchors on file targets (``page.md#section``) match a heading there.
 
+Anchor validation follows GitHub's slug rules including the
+duplicate-heading suffixes: the second ``## Knobs`` in a page is
+addressable as ``#knobs-1``, the third as ``#knobs-2``, and a link to
+``#knobs-3`` with only three such headings is reported broken.
+
 External links (``http(s)://``, ``mailto:``) are not checked — this is
 the offline, always-runnable half of doc hygiene, wired into
 ``make docs-check`` / ``make check``.
@@ -43,10 +48,28 @@ def github_slug(heading: str) -> str:
     return heading.replace(" ", "-")
 
 
+def slug_sequence(headings) -> set[str]:
+    """Every addressable anchor for an ordered heading sequence.
+
+    GitHub disambiguates repeated headings by suffixing ``-1``, ``-2``,
+    ... in document order; the first occurrence keeps the bare slug.
+    The suffixed forms are real anchors, so they must validate — and a
+    suffix beyond the actual repeat count must not.
+    """
+    seen: dict[str, int] = {}
+    slugs: set[str] = set()
+    for heading in headings:
+        slug = github_slug(heading)
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
 def heading_slugs(path: Path) -> set[str]:
     text = path.read_text(encoding="utf-8")
     text = _CODE_FENCE_RE.sub("", text)
-    return {github_slug(h) for h in _HEADING_RE.findall(text)}
+    return slug_sequence(_HEADING_RE.findall(text))
 
 
 def iter_links(path: Path):
