@@ -12,6 +12,7 @@ test:
 
 docs-check:
 	$(PYTHON) tools/check_links.py
+	$(PYTHON) tools/check_docstrings.py
 
 # fast service-layer subset: the multi-job engine (submit/cancel/
 # priority/preempt-resume/isolation) and the spool/CLI front-end

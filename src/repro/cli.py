@@ -83,12 +83,23 @@ def build_parser() -> argparse.ArgumentParser:
                      help="kernel execution backend (default: auto-select; "
                      "numpy-mp fans the particle loops out over worker "
                      "processes)")
-    run.add_argument("--loop-mode", choices=("split", "fused"),
+    run.add_argument("--loop-mode", choices=("split", "fused", "auto"),
                      default="split",
                      help="particle-loop structure: 'split' runs three "
                      "whole-array passes; 'fused' runs one pass — a "
                      "single-pass kernel on backends with the 'fused' "
-                     "capability, cache-chunked split kernels elsewhere")
+                     "capability, cache-chunked split kernels elsewhere; "
+                     "'auto' trials both, then keeps adapting per step "
+                     "(EWMA cost model with hysteresis; decisions land in "
+                     "--timings-json — see docs/tuning.md)")
+    run.add_argument("--block-size", type=int, default=0, metavar="CELLS",
+                     help="cells per block for the tiled density-aware "
+                     "charge deposit (0 disables tiling; bitwise-identical "
+                     "physics at any value — see docs/tuning.md)")
+    run.add_argument("--deposit-threads", type=int, default=1, metavar="N",
+                     help="simulated-thread count of the sharded per-block "
+                     "deposit kernel (structural knob; bitwise-identical "
+                     "at any value)")
     run.add_argument("--workers", type=int, default=None, metavar="N",
                      help="worker-process count for --backend numpy-mp "
                      "(default: cpu count)")
@@ -243,7 +254,12 @@ def _cmd_run(args) -> int:
     cfg = OptimizationConfig.fully_optimized(args.ordering)
     if args.ordering == "hilbert":
         cfg = cfg.with_(position_update="modulo")
-    cfg = cfg.with_(backend=args.backend, loop_mode=args.loop_mode)
+    cfg = cfg.with_(
+        backend=args.backend,
+        loop_mode=args.loop_mode,
+        block_size=args.block_size,
+        deposit_threads=args.deposit_threads,
+    )
     if args.workers is not None:
         cfg = cfg.with_(workers=args.workers)
     if args.mp_timeout is not None:

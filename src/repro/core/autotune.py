@@ -55,6 +55,7 @@ class TuneResult:
     costs: dict
 
     def cost_of(self, period: int) -> float:
+        """Modeled/measured per-iteration cost of one candidate period."""
         return self.costs[period]
 
 
@@ -76,6 +77,12 @@ def tune_sort_period_model(
     ramp over a period of T iterations multiplies the stall term by
     ``1 + g*(T-1)/2``; the sort itself costs ``C_sort / T`` per
     iteration.
+
+    Deterministic: a pure function of the model and its arguments —
+    identical inputs give the identical result — and the chosen period
+    never changes the physics (sorting is a pure reordering), only the
+    machine behaviour.  Thread-safety: no shared state, safe to call
+    concurrently.
     """
     from repro.perf.costmodel import LoopKind
 
@@ -140,6 +147,7 @@ class SortPeriodAutoTuner:
 
     @property
     def finished(self) -> bool:
+        """True once every candidate period's trial is complete."""
         return self._index >= len(self.candidates)
 
     def record(self, iteration_cost: float) -> None:
@@ -179,6 +187,7 @@ class LoopModeResult:
     costs: dict
 
     def cost_of(self, mode: str) -> float:
+        """Measured/modeled per-iteration cost of one candidate mode."""
         return self.costs[mode]
 
     def speedup(self) -> float:
@@ -207,13 +216,56 @@ class LoopModeAutoTuner:
     Same exhaustive-trial skeleton as :class:`SortPeriodAutoTuner`:
     the candidate set has two entries and a PIC run has millions of
     iterations to amortize the search.
+
+    **Continuous mode** (``continuous=True``, opt-in — the stepper
+    turns it on for ``loop_mode="auto"``): after the one-shot trials
+    settle on a winner, the tuner keeps adapting for the rest of the
+    run.  It tracks an exponentially-weighted moving average (EWMA) of
+    each mode's per-step cost, periodically probes the alternate mode
+    for a few steps (every ``recheck_every`` steps), and switches only
+    when the probe's EWMA beats the incumbent's by more than the
+    ``hysteresis`` fraction — so measurement noise below the hysteresis
+    band can never thrash the loop path.  Every settle / probe / switch
+    / keep event is appended to :attr:`decisions` (the stepper mirrors
+    them into :class:`~repro.perf.instrument.StepTimings` and the
+    ``--timings-json`` export).  With ``continuous=False`` (default)
+    the behaviour is exactly the historical one-shot A/B: recordings
+    after the trials finish are ignored.
+
+    Determinism: decisions are a pure function of the recorded cost
+    sequence and the constructor parameters — identical inputs yield
+    identical decisions (and the physics is identical either way, so
+    tuning never changes results, only speed).  Thread-safety: the
+    tuner mutates its own state on :meth:`record` and is not
+    synchronized — drive each instance from a single thread (one per
+    stepper, as the stepper does).
     """
 
     candidates: tuple = ("fused", "split")
     trial_iterations: int = 30
+    continuous: bool = False
+    #: EWMA smoothing factor for continuous mode (weight of the newest
+    #: sample); 1.0 means "latest sample only"
+    ewma_alpha: float = 0.3
+    #: relative improvement the alternate mode must show before a
+    #: switch (0.05 = must be >5% faster) — the anti-thrash band
+    hysteresis: float = 0.05
+    #: steps between probes of the alternate mode (continuous only)
+    recheck_every: int = 50
+    #: steps each probe runs the alternate mode for
+    probe_iterations: int = 3
+    #: settle / probe / switch / keep events, in order (continuous
+    #: mode; the one-shot trials contribute the initial "settle")
+    decisions: list = field(default_factory=list)
     _index: int = 0
     _count: int = 0
     _sums: dict = field(default_factory=dict)
+    _steps: int = 0
+    _ewma: dict = field(default_factory=dict)
+    _current: str | None = None
+    _probing: str | None = None
+    _probe_count: int = 0
+    _since_check: int = 0
 
     def __post_init__(self):
         if not self.candidates:
@@ -223,31 +275,119 @@ class LoopModeAutoTuner:
                 raise ValueError(f"unknown loop mode {mode!r}")
         if self.trial_iterations <= 0:
             raise ValueError("trial_iterations must be positive")
+        if not (0.0 < self.ewma_alpha <= 1.0):
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.hysteresis < 0:
+            raise ValueError("hysteresis must be >= 0")
+        if self.recheck_every <= 0:
+            raise ValueError("recheck_every must be positive")
+        if self.probe_iterations <= 0:
+            raise ValueError("probe_iterations must be positive")
 
     @property
     def mode(self) -> str:
         """The loop mode to use for the current iteration."""
-        if self.finished:
-            return self.result().best_mode
-        return str(self.candidates[self._index])
+        if not self.finished:
+            return str(self.candidates[self._index])
+        if self.continuous and self._current is not None:
+            return str(self._probing or self._current)
+        return self.result().best_mode
 
     @property
     def finished(self) -> bool:
+        """True once every candidate's trial is complete.
+
+        In continuous mode "finished" only ends the *trial* phase;
+        adaptation keeps running through further :meth:`record` calls.
+        """
         return self._index >= len(self.candidates)
 
+    @property
+    def ewma(self) -> dict:
+        """Per-mode EWMA cost (continuous mode; empty before settling)."""
+        return dict(self._ewma)
+
     def record(self, iteration_cost: float) -> None:
-        """Report the cost of one iteration run at :attr:`mode`."""
-        if self.finished:
+        """Report the cost of one iteration run at :attr:`mode`.
+
+        During the trial phase this accumulates the candidate's
+        average; in continuous mode afterwards it feeds the EWMA /
+        probe / switch machinery.  On a one-shot tuner (the default)
+        calls after the trials finish are ignored.
+        """
+        if not self.finished:
+            self._steps += 1
+            key = self.candidates[self._index]
+            self._sums[key] = self._sums.get(key, 0.0) + float(iteration_cost)
+            self._count += 1
+            if self._count >= self.trial_iterations:
+                self._count = 0
+                self._index += 1
+                if self.finished and self.continuous:
+                    self._settle()
             return
-        key = self.candidates[self._index]
-        self._sums[key] = self._sums.get(key, 0.0) + float(iteration_cost)
-        self._count += 1
-        if self._count >= self.trial_iterations:
-            self._count = 0
-            self._index += 1
+        if not self.continuous:
+            return
+        self._steps += 1
+        mode = self._probing or self._current
+        prev = self._ewma.get(mode)
+        cost = float(iteration_cost)
+        self._ewma[mode] = (
+            cost if prev is None
+            else self.ewma_alpha * cost + (1.0 - self.ewma_alpha) * prev
+        )
+        if self._probing is not None:
+            self._probe_count += 1
+            if self._probe_count >= self.probe_iterations:
+                self._finish_probe()
+        else:
+            self._since_check += 1
+            if self._since_check >= self.recheck_every and len(self.candidates) > 1:
+                self._start_probe()
+
+    def _settle(self) -> None:
+        """Seed the continuous state from the completed trials."""
+        res = self.result()
+        self._current = res.best_mode
+        self._ewma = dict(res.costs)
+        self.decisions.append({
+            "event": "settle", "step": self._steps,
+            "mode": res.best_mode, "costs": dict(res.costs),
+        })
+
+    def _start_probe(self) -> None:
+        idx = list(self.candidates).index(self._current)
+        alt = str(self.candidates[(idx + 1) % len(self.candidates)])
+        self._probing = alt
+        self._probe_count = 0
+        self.decisions.append({
+            "event": "probe", "step": self._steps, "mode": alt,
+        })
+
+    def _finish_probe(self) -> None:
+        cur, alt = self._current, self._probing
+        self._probing = None
+        self._since_check = 0
+        ewma = {cur: self._ewma[cur], alt: self._ewma[alt]}
+        if self._ewma[alt] < self._ewma[cur] * (1.0 - self.hysteresis):
+            self._current = alt
+            self.decisions.append({
+                "event": "switch", "step": self._steps,
+                "from": cur, "to": alt, "ewma": ewma,
+            })
+        else:
+            self.decisions.append({
+                "event": "keep", "step": self._steps,
+                "mode": cur, "probed": alt, "ewma": ewma,
+            })
 
     def result(self) -> LoopModeResult:
-        """Best mode found so far (all completed trials)."""
+        """Best mode found by the trial phase (all completed trials).
+
+        Continuous adaptation does not change this value — read
+        :attr:`mode` / :attr:`ewma` / :attr:`decisions` for the live
+        state.
+        """
         if not self._sums:
             raise RuntimeError("no trials recorded yet")
         avg = {k: v / self.trial_iterations for k, v in self._sums.items()}
@@ -275,6 +415,12 @@ def tune_loop_mode(
     :attr:`~repro.perf.instrument.StepTimings.kernel_total` per step
     (the particle loops — the only phases the mode changes), measured
     after ``warmup_steps`` throwaway steps that absorb compilation.
+
+    Either winner produces identical physics (fused and split are
+    equivalent renderings of the same update); only wall-clock
+    differs.  Thread-safety: each trial builds and closes its own
+    stepper, nothing is shared — but the measured timings are only
+    meaningful if the machine is otherwise idle.
     """
     if steps <= 0:
         raise ValueError("steps must be positive")

@@ -120,6 +120,10 @@ class KernelBackend(abc.ABC):
     #: * ``"counting_sort"`` — a backend-native
     #:   :meth:`counting_sort_permutation` (compiled cursor loop rather
     #:   than the SciPy scatter).
+    #: * ``"tiled_deposit"`` — :meth:`accumulate_redundant_tiled`, the
+    #:   density-aware per-block deposit dispatcher
+    #:   (:mod:`repro.core.deposit`), bitwise equal to the serial
+    #:   deposit at any block size and thread count.
     #:
     #: The stepper dispatches on these (``supports("fused")`` selects
     #: the fused loop path); physics must be identical either way.
@@ -211,6 +215,43 @@ class KernelBackend(abc.ABC):
         """
         raise NotImplementedError(
             f"backend {self.name!r} does not offer the 'parallel_deposit' capability"
+        )
+
+    def accumulate_redundant_tiled(
+        self,
+        rho_1d,
+        icell,
+        dx,
+        dy,
+        charge=1.0,
+        *,
+        block_size,
+        thresholds=(4.0, 64.0),
+        nthreads=1,
+    ) -> dict:
+        """Density-aware tiled deposit (per-block kernel dispatch).
+
+        Bins particles into blocks of ``block_size`` curve cells and
+        deposits each block with the kernel its local density warrants
+        (serial / sharded cell-ownership / parallel private-copies);
+        must be bitwise equal to :meth:`accumulate_redundant` for any
+        block size, thread count and thresholds.  Returns the executed
+        per-variant block counts.  Only callable on backends
+        advertising the ``"tiled_deposit"`` capability; the default
+        implementation drives this backend's own kernels through the
+        generic dispatcher in :mod:`repro.core.deposit`.
+        """
+        if not self.supports("tiled_deposit"):
+            raise NotImplementedError(
+                f"backend {self.name!r} does not offer the "
+                f"'tiled_deposit' capability"
+            )
+        from repro.core.deposit import accumulate_redundant_tiled
+
+        return accumulate_redundant_tiled(
+            self, rho_1d, icell, dx, dy, charge,
+            block_size=block_size, thresholds=thresholds, nthreads=nthreads,
+            perm_fn=self.counting_sort_permutation,
         )
 
     def counting_sort_permutation(self, keys, ncells):
@@ -442,6 +483,7 @@ class NumpyBackend(KernelBackend):
     name = "numpy"
     priority = 10
     degrades_to = None  # end of every chain: pure NumPy always works
+    capabilities = frozenset({"tiled_deposit"})
 
     accumulate_standard = staticmethod(_k.accumulate_standard)
     accumulate_redundant = staticmethod(_k.accumulate_redundant)
@@ -480,7 +522,9 @@ class NumbaBackend(KernelBackend):
     name = "numba"
     priority = 20
     degrades_to = "numpy-mp"
-    capabilities = frozenset({"fused", "parallel_deposit", "counting_sort"})
+    capabilities = frozenset(
+        {"fused", "parallel_deposit", "counting_sort", "tiled_deposit"}
+    )
 
     @classmethod
     def is_available(cls) -> bool:

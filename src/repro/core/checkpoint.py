@@ -260,6 +260,17 @@ def _reconstruct(stepper, grid, config, particles, meta, data,
     stepper.timings = stepper.instrumentation.timings
     # hooks are observers of a live run, never part of checkpointed state
     stepper.phase_hook = None
+    # tuner state is adaptive-only (never physics): a restored "auto"
+    # run re-trials from scratch, exactly like a fresh stepper
+    if config.loop_mode == "auto":
+        from repro.core.autotune import LoopModeAutoTuner
+
+        stepper.loop_tuner = LoopModeAutoTuner(
+            continuous=True, trial_iterations=5,
+            recheck_every=25, probe_iterations=3,
+        )
+    else:
+        stepper.loop_tuner = None
     stepper.iteration = int(meta["iteration"])
     stepper._closed = False
     stepper.ex_grid = np.array(data["ex_grid"])

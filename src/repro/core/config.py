@@ -13,7 +13,7 @@ __all__ = ["OptimizationConfig"]
 
 _FIELD_LAYOUTS = ("standard", "redundant")
 _PARTICLE_LAYOUTS = ("soa", "aos")
-_LOOP_MODES = ("fused", "split")
+_LOOP_MODES = ("fused", "split", "auto")
 _POSITION_UPDATES = ("branch", "modulo", "bitwise")
 _SORT_VARIANTS = ("out-of-place", "in-place")
 
@@ -39,7 +39,11 @@ class OptimizationConfig:
     loop_mode:
         ``"fused"`` — one particle loop doing update-v / update-x /
         accumulate per chunk (the baseline); ``"split"`` — three
-        full passes (§IV-A, enables vectorizing update-x).
+        full passes (§IV-A, enables vectorizing update-x); ``"auto"``
+        — the stepper's continuous
+        :class:`~repro.core.autotune.LoopModeAutoTuner` trials both
+        and keeps adapting per step (EWMA + hysteresis; decisions land
+        in the step timings — see ``docs/tuning.md``).
     position_update:
         ``"branch"`` — test-and-wrap (the `if` version);
         ``"modulo"`` — unconditional floor+modulo;
@@ -79,6 +83,26 @@ class OptimizationConfig:
         before killing and respawning the worker and recomputing the
         shard serially (surfaced as the ``fallbacks`` counter in the
         step timings).
+    block_size:
+        Cells per block for tiled/fine-grain binning (0, the default,
+        disables tiling: the deposit runs one whole-grid pass).  With
+        ``block_size > 0`` and a backend advertising ``tiled_deposit``,
+        the charge deposit bins particles into blocks of this many
+        consecutive curve cells and dispatches a kernel per block on
+        local density (:mod:`repro.core.deposit`) — bitwise-identical
+        to the untiled deposit at any setting.  Redundant layout only;
+        see ``docs/tuning.md`` for guidance.
+    deposit_thresholds:
+        ``(sparse, dense)`` particles-per-cell cutoffs of the
+        density-aware dispatcher: blocks at or below ``sparse`` run
+        the serial kernel, at or above ``dense`` the parallel
+        private-copies kernel, in between the sharded cell-ownership
+        kernel.
+    deposit_threads:
+        Simulated-thread count of the sharded per-block deposit
+        (contiguous cell sub-ranges per thread; §V-B cell ownership).
+        Purely a structural knob in-process — any value is
+        bitwise-identical.
     """
 
     field_layout: str = "redundant"
@@ -95,6 +119,9 @@ class OptimizationConfig:
     backend: str = "auto"
     workers: int | None = None
     mp_task_timeout: float = 60.0
+    block_size: int = 0
+    deposit_thresholds: tuple = (4.0, 64.0)
+    deposit_threads: int = 1
 
     def __post_init__(self):
         if self.field_layout not in _FIELD_LAYOUTS:
@@ -115,6 +142,24 @@ class OptimizationConfig:
             raise ValueError("workers must be >= 1 (or None for cpu count)")
         if self.mp_task_timeout <= 0:
             raise ValueError("mp_task_timeout must be positive")
+        if self.block_size < 0:
+            raise ValueError("block_size must be >= 0 (0 disables tiling)")
+        # normalize: JSON round-trips (checkpoints, job specs) hand the
+        # thresholds back as a list — equality must survive that
+        object.__setattr__(
+            self, "deposit_thresholds", tuple(self.deposit_thresholds)
+        )
+        if (
+            len(self.deposit_thresholds) != 2
+            or self.deposit_thresholds[0] < 0
+            or self.deposit_thresholds[1] < self.deposit_thresholds[0]
+        ):
+            raise ValueError(
+                "deposit_thresholds must be (sparse, dense) with "
+                "0 <= sparse <= dense"
+            )
+        if self.deposit_threads < 1:
+            raise ValueError("deposit_threads must be >= 1")
         # deferred import: backends depends on kernels, not on config
         from repro.core.backends import AUTO, known_backend_names
 

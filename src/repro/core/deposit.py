@@ -1,0 +1,229 @@
+"""Density-aware tiled charge deposit — per-block kernel dispatch.
+
+The whole-grid deposit treats every region of the plasma the same, but
+particle density is wildly non-uniform once an instability saturates.
+Beck et al. (arXiv 1810.03949) get their SIMD deposit wins by binning
+particles into fine-grain cell blocks and *switching deposit strategy
+per block* on the local density; Vincenti et al. (arXiv 1601.02056)
+supply the portable vectorized deposit shape that makes the dense-block
+kernel worth dispatching to.  This module is that dispatcher for the
+redundant ``rho_1d[ncell][4]`` layout:
+
+1. bin particles by block (:func:`repro.particles.sorting.
+   bin_particles_by_block`) — blocks are ``block_size`` consecutive
+   cells of the active space-filling curve, so a block is a compact
+   spatial tile;
+2. read each block's particle count from the bin histogram and compare
+   the block's particles-per-cell against the ``(sparse, dense)``
+   thresholds;
+3. deposit each block with the cheapest kernel for its density:
+
+   * **serial** (sparse) — the backend's plain
+     ``accumulate_redundant`` on the block's particles and cell rows;
+   * **shard** (medium) — the block's cell range is cut into
+     ``nthreads`` contiguous shards, each deposited independently (the
+     simulated-thread rendering of §V-B cell ownership: shards own
+     disjoint ``rho`` rows, so no reduction and no races);
+   * **parallel** (dense) — the backend's private-copies + reduction
+     ``accumulate_redundant_parallel`` kernel on the block, when the
+     backend advertises ``parallel_deposit``; otherwise the shard
+     rendering stands in.
+
+Bitwise-equivalence promise
+---------------------------
+Every variant, and any per-block mix of variants, produces ``rho_1d``
+bitwise-identical to one whole-grid serial deposit **on the same
+backend**, for every ``block_size``, ``nthreads`` and threshold pair:
+
+* blocks (and shards within a block) own disjoint, contiguous cell
+  ranges, and a cell's particles all live in exactly one block, so
+  each ``rho`` element is written by exactly one block's kernel;
+* the binning permutation is stable, so within any single cell the
+  particles keep their global order — the per-cell accumulation
+  (numpy's per-corner ``bincount`` sum, numba's per-particle scalar
+  adds) therefore performs the identical additions in the identical
+  order the whole-grid kernel performs them;
+* the per-block parallel kernel is itself bitwise-equal to the serial
+  kernel on its subset (the §V-B cell-ownership argument, one level
+  down).
+
+The differential verifier holds the tiled path to the baseline under
+the ``bitwise`` promise class, and ``tests/test_tiled_deposit.py``
+sweeps block sizes × thread counts × thresholds against the serial
+oracle.
+
+Thread-safety: :func:`accumulate_redundant_tiled` mutates only the
+``rho_1d`` it is handed; concurrent calls on disjoint outputs are
+safe, and the shard scheme needs no locks by construction.
+
+See ``docs/tuning.md`` for how to choose ``block_size`` and the
+density thresholds, and how the decisions surface in
+``--timings-json``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.particles.sorting import bin_particles_by_block, block_histogram
+
+__all__ = [
+    "DEFAULT_DEPOSIT_THRESHOLDS",
+    "choose_deposit_variant",
+    "accumulate_redundant_tiled",
+]
+
+#: ``(sparse, dense)`` particles-per-cell defaults: below ``sparse``
+#: a block runs the serial kernel (dispatch overhead would dominate),
+#: at or above ``dense`` the parallel private-copies kernel, between
+#: them the sharded cell-ownership kernel.
+DEFAULT_DEPOSIT_THRESHOLDS = (4.0, 64.0)
+
+
+def choose_deposit_variant(
+    count: int, cells: int, thresholds=DEFAULT_DEPOSIT_THRESHOLDS
+) -> str | None:
+    """Pick a deposit kernel for one block from its local density.
+
+    ``count`` particles over ``cells`` cells against the ``(sparse,
+    dense)`` particles-per-cell thresholds: returns ``"serial"`` /
+    ``"shard"`` / ``"parallel"``, or ``None`` for an empty block (an
+    empty block deposits nothing, which is trivially bitwise-identical
+    to the serial kernel visiting no particles).  Deterministic — the
+    decision depends only on the histogram, never on timing — so runs
+    are reproducible.  Thread-safety: pure function, safe concurrently.
+    """
+    if count <= 0:
+        return None
+    lo, hi = thresholds
+    ppc = count / max(cells, 1)
+    if ppc >= hi:
+        return "parallel"
+    if ppc <= lo:
+        return "serial"
+    return "shard"
+
+
+def _deposit_shards(backend, rho_1d, icell, dx, dy, charge, lo, hi, nthreads):
+    """Deposit one block's particles shard-by-shard (cell ownership).
+
+    Each simulated thread owns a contiguous sub-range of the block's
+    cells ``[lo, hi)`` and deposits exactly the particles whose cell
+    falls in it.  ``np.nonzero`` preserves particle order inside a
+    shard, and shards touch disjoint ``rho_1d`` rows, so the result is
+    bitwise-identical to the serial deposit of the block at any
+    ``nthreads`` — races are impossible by construction.
+    """
+    bounds = np.linspace(lo, hi, nthreads + 1).astype(np.int64)
+    for t in range(nthreads):
+        c_lo, c_hi = int(bounds[t]), int(bounds[t + 1])
+        if c_hi <= c_lo:
+            continue
+        mine = np.nonzero((icell >= c_lo) & (icell < c_hi))[0]
+        if mine.size == 0:
+            continue
+        backend.accumulate_redundant(
+            rho_1d[c_lo:c_hi], icell[mine] - c_lo, dx[mine], dy[mine], charge
+        )
+
+
+def accumulate_redundant_tiled(
+    backend,
+    rho_1d,
+    icell,
+    dx,
+    dy,
+    charge=1.0,
+    *,
+    block_size,
+    thresholds=DEFAULT_DEPOSIT_THRESHOLDS,
+    nthreads=1,
+    perm_fn=None,
+) -> dict:
+    """Density-aware tiled deposit onto the redundant ``rho_1d``.
+
+    Bins particles into blocks of ``block_size`` curve cells, then
+    deposits each block with the kernel
+    :func:`choose_deposit_variant` picks for its density — serial,
+    sharded cell-ownership over ``nthreads`` simulated threads, or the
+    backend's parallel private-copies kernel.  Returns the executed
+    per-variant block counts, e.g. ``{"serial": 12, "shard": 3}``
+    (what the instrumentation ledger records); on backends without the
+    ``parallel_deposit`` capability a dense block executes — and is
+    counted — as ``"shard"``.
+
+    When every non-empty block is sparse the call collapses to one
+    whole-grid serial deposit (counted as ``{"serial": nblocks,
+    "coalesced": 1}``) — same additions in the same order, no per-block
+    gather overhead.
+
+    Bitwise-equivalence promise: the result equals one whole-grid
+    serial ``backend.accumulate_redundant`` bit for bit, for every
+    ``block_size``, ``nthreads``, threshold pair and per-block variant
+    mix (see the module docstring for the argument).  Thread-safety:
+    mutates only ``rho_1d``; shards and blocks write disjoint rows, so
+    the scheme is race-free and concurrent calls on disjoint outputs
+    are safe.
+    """
+    if nthreads <= 0:
+        raise ValueError("nthreads must be positive")
+    icell = np.asarray(icell)
+    ncells = int(rho_1d.shape[0])
+    # density decision first, from the cheap histogram alone — the
+    # grouping permutation (the expensive half of binning) is only
+    # built if some block actually needs its own pass
+    counts = block_histogram(icell, ncells, block_size)
+    executed: dict[str, int] = {}
+    variants = []
+    for b, count in enumerate(counts):
+        lo = b * int(block_size)
+        hi = min(lo + int(block_size), ncells)
+        v = choose_deposit_variant(int(count), hi - lo, thresholds)
+        if v == "parallel" and not backend.supports("parallel_deposit"):
+            v = "shard"
+        if v == "shard" and nthreads == 1:
+            # a one-thread shard pass IS the serial pass (one owner for
+            # the whole cell range) — run it as such so an all-sparse/
+            # one-thread step can coalesce to a single whole-grid pass
+            v = "serial"
+        variants.append(v)
+
+    live = [v for v in variants if v is not None]
+    if not live:
+        return executed
+    if all(v == "serial" for v in live):
+        # Sparse everywhere: one whole-grid pass is the identical
+        # computation (each rho element still receives exactly its own
+        # cell's contributions in global particle order) minus the
+        # per-block gathers.
+        backend.accumulate_redundant(rho_1d, icell, dx, dy, charge)
+        executed["serial"] = len(live)
+        executed["coalesced"] = 1
+        return executed
+
+    bins = bin_particles_by_block(icell, ncells, block_size, perm_fn=perm_fn)
+    dx = np.asarray(dx)
+    dy = np.asarray(dy)
+    for b, v in enumerate(variants):
+        if v is None:
+            continue
+        idx = bins.particles_of(b)
+        lo, hi = bins.cell_range(b)
+        sub_icell = icell[idx]
+        sub_dx = dx[idx]
+        sub_dy = dy[idx]
+        if v == "serial":
+            backend.accumulate_redundant(
+                rho_1d[lo:hi], sub_icell - lo, sub_dx, sub_dy, charge
+            )
+        elif v == "shard":
+            _deposit_shards(
+                backend, rho_1d, sub_icell, sub_dx, sub_dy, charge,
+                lo, hi, nthreads,
+            )
+        else:  # parallel
+            backend.accumulate_redundant_parallel(
+                rho_1d[lo:hi], sub_icell - lo, sub_dx, sub_dy, charge
+            )
+        executed[v] = executed.get(v, 0) + 1
+    return executed

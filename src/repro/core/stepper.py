@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.autotune import LoopModeAutoTuner
 from repro.core.backends import KernelBackend, get_backend
 from repro.core.config import OptimizationConfig
 from repro.curves.base import get_ordering
@@ -144,6 +145,18 @@ class PICStepper:
         #: hooks must not mutate the stepper state.
         self.phase_hook = None
         self.iteration = 0
+        #: continuous fused-vs-split tuner, active iff
+        #: ``config.loop_mode == "auto"``: short A/B trials, then EWMA
+        #: tracking with hysteresis; every decision is mirrored into
+        #: the instrumentation ledger (see docs/tuning.md)
+        self.loop_tuner: LoopModeAutoTuner | None = (
+            LoopModeAutoTuner(
+                continuous=True, trial_iterations=5,
+                recheck_every=25, probe_iterations=3,
+            )
+            if config.loop_mode == "auto"
+            else None
+        )
         #: physical (Ex, Ey) at grid points from the latest solve
         self.ex_grid = np.zeros((grid.ncx, grid.ncy))
         self.ey_grid = np.zeros((grid.ncx, grid.ncy))
@@ -296,10 +309,27 @@ class PICStepper:
     def _phase_accumulate(self, sl: slice | None = None) -> None:
         p = self.particles if sl is None else _ChunkView(self.particles, sl)
         if self.fields.layout == "redundant":
-            # full-array deposits go thread-parallel when offered (the
-            # cell-ownership scheme is bitwise-equal to the serial
-            # kernel); chunked (sl) deposits stay serial — per-chunk
-            # thread fan-out would cost more than the scatter itself
+            # full-array deposits: density-aware tiled dispatch when
+            # configured (bitwise-equal to every other rendering), else
+            # thread-parallel when offered (the cell-ownership scheme
+            # is bitwise-equal to the serial kernel); chunked (sl)
+            # deposits stay serial — per-chunk thread fan-out would
+            # cost more than the scatter itself
+            cfg = self.config
+            if (
+                sl is None
+                and cfg.block_size > 0
+                and self.backend.supports("tiled_deposit")
+            ):
+                counts = self.backend.accumulate_redundant_tiled(
+                    self.fields.rho_1d, p.icell, p.dx, p.dy,
+                    self._charge_factor,
+                    block_size=cfg.block_size,
+                    thresholds=cfg.deposit_thresholds,
+                    nthreads=cfg.deposit_threads,
+                )
+                self.instrumentation.record_deposit_variants(counts)
+                return
             if sl is None and self.backend.supports("parallel_deposit"):
                 self.backend.accumulate_redundant_parallel(
                     self.fields.rho_1d, p.icell, p.dx, p.dy, self._charge_factor
@@ -362,8 +392,14 @@ class PICStepper:
           backends without a native fused kernel: the split kernels run
           per cache-sized chunk so the chunk stays resident between
           sub-loop passes.
+
+        With ``loop_mode="auto"`` the continuous tuner names the mode
+        for this step (trial phase first, then its adaptive choice).
         """
-        if self.config.loop_mode == "split":
+        mode = self.config.loop_mode
+        if mode == "auto":
+            mode = self.loop_tuner.mode
+        if mode == "split":
             return "split"
         if self.backend.supports("fused"):
             return "fused-backend"
@@ -394,6 +430,7 @@ class PICStepper:
         cfg = self.config
         instr = self.instrumentation
         hook = self.phase_hook
+        kernel_before = self.timings.kernel_total
         with instr.step(self.particles.n):
             with instr.phase("sort"):
                 if (
@@ -450,6 +487,17 @@ class PICStepper:
                 self._solve_fields()
             if hook is not None:
                 hook("solve", self)
+
+            if self.loop_tuner is not None:
+                # feed the particle-loop seconds of the step just taken
+                # (the only phases the mode changes) and mirror any
+                # decision the tuner makes into the step ledger
+                seen = len(self.loop_tuner.decisions)
+                self.loop_tuner.record(
+                    self.timings.kernel_total - kernel_before
+                )
+                for decision in self.loop_tuner.decisions[seen:]:
+                    instr.record_autotune(decision)
         self.iteration += 1
 
     def run(self, n_steps: int) -> None:

@@ -38,6 +38,17 @@ _PUSH_POOL = ("branch", "modulo", "bitwise")
 _SORT_PERIODS = (0, 2, 3, 5)
 _SORT_VARIANTS = ("in-place", "out-of-place")
 _CASE_POOL = ("landau", "two-stream")
+#: block sizes for the tiled deposit — weighted toward 0 (untiled)
+#: so most scenarios still exercise the classic whole-grid kernels;
+#: the nonzero entries hit per-cell, small-block, and large-block
+#: dispatch.  Bitwise-identical to 0 by construction, which is
+#: exactly what the differ asserts.
+_BLOCK_POOL = (0, 0, 1, 4, 64)
+#: ``(sparse, dense)`` cutoffs for the density-aware dispatcher: the
+#: defaults (mixed variants), all-parallel/shard (everything dense),
+#: and all-serial (everything sparse, which coalesces to one pass).
+_THRESHOLD_POOL = ((4.0, 64.0), (0.0, 0.0), (1e30, 2e30))
+_DEPOSIT_THREADS_POOL = (1, 2, 7)
 
 
 @dataclass(frozen=True)
@@ -60,6 +71,9 @@ class Scenario:
     chunk_size: int
     dt: float = 0.05
     seed: int = 0
+    block_size: int = 0
+    deposit_thresholds: tuple = (4.0, 64.0)
+    deposit_threads: int = 1
 
     def grid(self) -> GridSpec:
         return GridSpec(self.ncx, self.ncy, xmax=4 * np.pi, ymax=2 * np.pi)
@@ -82,6 +96,9 @@ class Scenario:
             sort_variant=self.sort_variant,
             chunk_size=self.chunk_size,
             backend=backend,
+            block_size=self.block_size,
+            deposit_thresholds=self.deposit_thresholds,
+            deposit_threads=self.deposit_threads,
         )
         if workers is not None:
             kwargs["workers"] = workers
@@ -89,11 +106,12 @@ class Scenario:
 
     def label(self) -> str:
         sort = f"sort{self.sort_period}" if self.sort_period else "nosort"
+        tile = f" bs{self.block_size}" if self.block_size else ""
         return (
             f"#{self.index} {self.case_name} {self.ncx}x{self.ncy} "
             f"n={self.n_particles} {self.ordering}/{self.field_layout}/"
             f"{self.loop_mode}/{self.position_update} "
-            f"{'hoist' if self.hoisting else 'nohoist'} {sort}"
+            f"{'hoist' if self.hoisting else 'nohoist'} {sort}{tile}"
         )
 
 
@@ -141,6 +159,9 @@ class ScenarioSampler:
             sort_variant=self._pick(_SORT_VARIANTS),
             chunk_size=8192,
             seed=int(self._rng.integers(2**31)),
+            block_size=int(self._pick(_BLOCK_POOL)),
+            deposit_thresholds=self._pick(_THRESHOLD_POOL),
+            deposit_threads=int(self._pick(_DEPOSIT_THREADS_POOL)),
         )
         self._count += 1
         return scenario

@@ -18,6 +18,12 @@ numpy fused, n > chunk_size         tolerance (per-chunk deposits change
 numba split / fused                 tolerance (LLVM scalar loops vs numpy
                                     SIMD association)
 in-place vs out-of-place sort       bitwise (same stable permutation)
+tiled deposit, any block size       bitwise (blocks own disjoint contiguous
+                                    cell ranges; stable binning preserves
+                                    each cell's particle order, so every
+                                    rho element receives the identical
+                                    per-cell sum — see
+                                    :mod:`repro.core.deposit`)
 scalar ReferenceStepper             bitwise (checked separately in tests;
                                     too slow for the sampled matrix)
 ==================================  =========================================
@@ -73,6 +79,7 @@ class Combo:
     loop_mode: str | None = None  #: None -> the scenario's own loop mode
     workers: int | None = None
     sort_variant: str | None = None  #: None -> the scenario's own variant
+    block_size: int | None = None  #: None -> the scenario's own block size
 
     def label(self) -> str:
         parts = [self.backend]
@@ -82,6 +89,8 @@ class Combo:
             parts.append(f"w{self.workers}")
         if self.sort_variant is not None:
             parts.append(self.sort_variant)
+        if self.block_size is not None:
+            parts.append(f"bs{self.block_size}")
         return "/".join(parts)
 
 
@@ -182,6 +191,8 @@ class _Run:
         )
         if combo.sort_variant is not None:
             cfg = replace(cfg, sort_variant=combo.sort_variant)
+        if combo.block_size is not None:
+            cfg = replace(cfg, block_size=combo.block_size)
         self.stepper = PICStepper(
             scenario.grid(), cfg,
             case=scenario.case(), n_particles=scenario.n_particles,
@@ -288,6 +299,16 @@ class DifferentialRunner:
             )
             combos.append(
                 (Combo("numpy", loop_mode="split", sort_variant=flipped),
+                 "bitwise")
+            )
+        # tiled density-aware deposit at a block size different from the
+        # scenario's own: promised bitwise-identical to the baseline at
+        # *any* block size (redundant layout only; on the standard
+        # layout the knob is inert, which this combo also pins down)
+        if scenario.field_layout == "redundant":
+            alt_block = 4 if scenario.block_size != 4 else 16
+            combos.append(
+                (Combo("numpy", loop_mode="split", block_size=alt_block),
                  "bitwise")
             )
         return combos

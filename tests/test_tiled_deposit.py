@@ -1,0 +1,364 @@
+"""Tiled binning, the density-aware deposit, and the continuous tuner.
+
+Three promise surfaces of the adaptive layer (see docs/tuning.md):
+
+* the fine-grain binning in ``particles/sorting.py`` — stable block
+  grouping whose composed permutations reproduce the whole-grid
+  counting sort bitwise at every block size;
+* the density-aware deposit dispatcher in ``core/deposit.py`` — every
+  per-block variant mix (serial / shard / parallel, any block size ×
+  thread count × threshold pair) must equal one whole-grid serial
+  deposit bit for bit, kernel-level and through full stepper runs;
+* the continuous ``LoopModeAutoTuner`` — settle / probe / switch /
+  keep semantics, and the hysteresis band that forbids path thrashing
+  under sub-threshold noise.
+
+Plus the bookkeeping: executed-variant counts and autotune decisions
+must land in ``StepTimings`` and survive the JSON round-trip.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import OptimizationConfig, Simulation, StepTimings
+from repro.core.autotune import LoopModeAutoTuner
+from repro.core.backends import NumpyBackend, get_backend
+from repro.core.deposit import (
+    DEFAULT_DEPOSIT_THRESHOLDS,
+    accumulate_redundant_tiled,
+    choose_deposit_variant,
+)
+from repro.core.kernels import accumulate_redundant
+from repro.grid import GridSpec
+from repro.particles import LandauDamping
+from repro.particles.sorting import (
+    BlockBins,
+    bin_particles_by_block,
+    block_histogram,
+    counting_sort_permutation,
+    tiled_counting_sort_permutation,
+)
+
+NCELLS = 256
+BLOCK_SIZES = (1, 4, 64, NCELLS)  # per-cell, small, cache-sized, whole-grid
+THREAD_COUNTS = (1, 2, 7)
+THRESHOLD_PAIRS = (
+    DEFAULT_DEPOSIT_THRESHOLDS,  # mixed decisions
+    (0.0, 0.0),                  # everything dense -> parallel/shard
+    (1e30, 2e30),                # everything sparse -> serial (coalesces)
+    (2.0, 3.0),                  # tight band -> rich serial/shard/parallel mix
+)
+
+
+@pytest.fixture(scope="module")
+def particles():
+    rng = np.random.default_rng(7)
+    n = 20_000
+    return (
+        rng.integers(0, NCELLS, n).astype(np.int64),
+        rng.random(n),
+        rng.random(n),
+    )
+
+
+# ---------------------------------------------------------------------------
+# binning
+# ---------------------------------------------------------------------------
+
+
+class TestBinning:
+    def test_blockbins_invariants(self, particles):
+        icell, _, _ = particles
+        for bs in BLOCK_SIZES:
+            bins = bin_particles_by_block(icell, NCELLS, bs)
+            assert isinstance(bins, BlockBins)
+            assert bins.nblocks == -(-NCELLS // bs)
+            assert int(bins.counts.sum()) == icell.size
+            assert bins.starts[0] == 0 and bins.starts[-1] == icell.size
+            # perm is a permutation, grouped by block, stable within
+            assert np.array_equal(np.sort(bins.perm), np.arange(icell.size))
+            for b in range(bins.nblocks):
+                idx = bins.particles_of(b)
+                lo, hi = bins.cell_range(b)
+                assert np.all((icell[idx] >= lo) & (icell[idx] < hi))
+                assert np.all(np.diff(idx) > 0)  # stability: input order
+
+    def test_block_histogram_matches_bins(self, particles):
+        icell, _, _ = particles
+        for bs in BLOCK_SIZES:
+            np.testing.assert_array_equal(
+                block_histogram(icell, NCELLS, bs),
+                bin_particles_by_block(icell, NCELLS, bs).counts,
+            )
+
+    def test_cell_range_clamps_last_block(self):
+        bins = bin_particles_by_block(np.array([0, 9]), 10, 4)
+        assert bins.nblocks == 3
+        assert bins.cell_range(2) == (8, 10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bin_particles_by_block(np.array([0]), 10, 0)
+        with pytest.raises(ValueError):
+            bin_particles_by_block(np.array([10]), 10, 4)
+        with pytest.raises(ValueError):
+            block_histogram(np.array([-1]), 10, 4)
+
+    def test_empty_population(self):
+        bins = bin_particles_by_block(np.empty(0, dtype=np.int64), NCELLS, 8)
+        assert bins.perm.size == 0
+        assert int(bins.counts.sum()) == 0
+
+    @pytest.mark.parametrize("bs", BLOCK_SIZES + (300,))
+    def test_tiled_sort_equals_whole_grid_sort(self, particles, bs):
+        icell, _, _ = particles
+        np.testing.assert_array_equal(
+            tiled_counting_sort_permutation(icell, NCELLS, bs),
+            counting_sort_permutation(icell, NCELLS),
+        )
+
+
+# ---------------------------------------------------------------------------
+# the density dispatcher
+# ---------------------------------------------------------------------------
+
+
+class TestChooseVariant:
+    def test_empty_block_is_none(self):
+        assert choose_deposit_variant(0, 4) is None
+
+    def test_density_bands(self):
+        lo, hi = 4.0, 64.0
+        assert choose_deposit_variant(4, 1, (lo, hi)) == "serial"
+        assert choose_deposit_variant(5, 1, (lo, hi)) == "shard"
+        assert choose_deposit_variant(64, 1, (lo, hi)) == "parallel"
+        # dense checked first: degenerate (0, 0) sends everything parallel
+        assert choose_deposit_variant(1, 64, (0.0, 0.0)) == "parallel"
+
+
+class TestDepositBitwise:
+    @pytest.mark.parametrize("bs", BLOCK_SIZES)
+    @pytest.mark.parametrize("nthreads", THREAD_COUNTS)
+    def test_equals_serial_for_all_thresholds(self, particles, bs, nthreads):
+        icell, dx, dy = particles
+        backend = get_backend("numpy")
+        charge = -0.37
+        oracle = np.zeros((NCELLS, 4))
+        accumulate_redundant(oracle, icell, dx, dy, charge)
+        for thresholds in THRESHOLD_PAIRS:
+            rho = np.zeros((NCELLS, 4))
+            accumulate_redundant_tiled(
+                backend, rho, icell, dx, dy, charge,
+                block_size=bs, thresholds=thresholds, nthreads=nthreads,
+            )
+            assert rho.tobytes() == oracle.tobytes(), (bs, nthreads, thresholds)
+
+    def test_variant_ledger_counts_blocks(self, particles):
+        icell, dx, dy = particles
+        backend = get_backend("numpy")
+        rho = np.zeros((NCELLS, 4))
+        counts = accumulate_redundant_tiled(
+            backend, rho, icell, dx, dy,
+            block_size=64, thresholds=(1e30, 2e30),
+        )
+        # all-sparse coalesces into one whole-grid pass
+        assert counts == {"serial": NCELLS // 64, "coalesced": 1}
+        rho = np.zeros((NCELLS, 4))
+        counts = accumulate_redundant_tiled(
+            backend, rho, icell, dx, dy,
+            block_size=64, thresholds=(0.0, 0.0), nthreads=2,
+        )
+        # everything dense; numpy has no parallel_deposit -> shard
+        assert counts == {"shard": NCELLS // 64}
+
+    def test_one_thread_shard_runs_as_serial(self, particles):
+        icell, dx, dy = particles
+        backend = get_backend("numpy")
+        rho = np.zeros((NCELLS, 4))
+        counts = accumulate_redundant_tiled(
+            backend, rho, icell, dx, dy,
+            block_size=64, thresholds=(0.0, 0.0), nthreads=1,
+        )
+        assert counts == {"serial": NCELLS // 64, "coalesced": 1}
+
+    def test_backend_method_requires_capability(self, particles):
+        icell, dx, dy = particles
+
+        class NoTiling(NumpyBackend):
+            capabilities = frozenset()
+
+        rho = np.zeros((NCELLS, 4))
+        with pytest.raises(NotImplementedError):
+            NoTiling().accumulate_redundant_tiled(
+                rho, icell, dx, dy, block_size=8
+            )
+
+    def test_rejects_bad_nthreads(self, particles):
+        icell, dx, dy = particles
+        with pytest.raises(ValueError):
+            accumulate_redundant_tiled(
+                get_backend("numpy"), np.zeros((NCELLS, 4)), icell, dx, dy,
+                block_size=8, nthreads=0,
+            )
+
+
+# ---------------------------------------------------------------------------
+# stepper-level equivalence and bookkeeping
+# ---------------------------------------------------------------------------
+
+
+def _run(config, steps=25, n=3000):
+    grid = GridSpec(32, 16, 0.0, 4 * np.pi, 0.0, 2 * np.pi)
+    sim = Simulation(grid, LandauDamping(alpha=0.1), n, config,
+                     dt=0.05, seed=3, quiet=True)
+    sim.run(steps)
+    return sim
+
+
+class TestStepperIntegration:
+    @pytest.mark.parametrize("overrides", [
+        dict(block_size=1),
+        dict(block_size=4, deposit_threads=2),
+        dict(block_size=64, deposit_thresholds=(0.5, 2.0), deposit_threads=7),
+    ])
+    def test_tiled_run_bitwise_equals_untiled(self, overrides):
+        base = OptimizationConfig.fully_optimized().with_(backend="numpy")
+        ref = _run(base)
+        tiled = _run(base.with_(**overrides))
+        for name in ("dx", "dy", "vx", "vy", "icell"):
+            a = getattr(ref.stepper.particles, name)
+            b = getattr(tiled.stepper.particles, name)
+            assert np.asarray(a).tobytes() == np.asarray(b).tobytes(), name
+        assert (ref.stepper.fields.rho_1d.tobytes()
+                == tiled.stepper.fields.rho_1d.tobytes())
+
+    def test_variants_recorded_and_roundtripped(self):
+        cfg = OptimizationConfig.fully_optimized().with_(
+            backend="numpy", block_size=4, deposit_thresholds=(0.5, 2.0),
+            deposit_threads=2,
+        )
+        sim = _run(cfg, steps=10)
+        variants = sim.timings.deposit_variants
+        assert variants and sum(variants.values()) > 0
+        doc = json.loads(sim.timings_json())
+        assert doc["cumulative"]["deposit_variants"] == variants
+        restored = StepTimings.from_json(json.dumps(doc["cumulative"]))
+        assert restored.deposit_variants == variants
+        # per-step records carry the per-step slice
+        assert any("deposit_variants" in rec for rec in doc["per_step"])
+
+    def test_block_size_ignored_without_redundant_layout(self):
+        cfg = OptimizationConfig.with_loop_splitting().with_(
+            backend="numpy", block_size=8
+        )
+        sim = _run(cfg, steps=5)
+        assert sim.timings.deposit_variants == {}
+
+    def test_auto_loop_mode_runs_and_records_decisions(self):
+        cfg = OptimizationConfig.fully_optimized().with_(
+            backend="numpy", loop_mode="auto"
+        )
+        sim = _run(cfg, steps=40)
+        events = [d["event"] for d in sim.timings.autotune]
+        assert events[0] == "settle"
+        assert "probe" in events
+        doc = json.loads(sim.timings_json())
+        assert doc["cumulative"]["autotune"] == sim.timings.autotune
+        restored = StepTimings.from_json(json.dumps(doc["cumulative"]))
+        assert restored.autotune == sim.timings.autotune
+        # both structures were actually exercised at least once
+        assert len(sim.timings.loop_paths) >= 2
+
+
+# ---------------------------------------------------------------------------
+# the continuous autotuner
+# ---------------------------------------------------------------------------
+
+
+def _tuner(**kw):
+    kw.setdefault("continuous", True)
+    kw.setdefault("trial_iterations", 2)
+    kw.setdefault("recheck_every", 5)
+    kw.setdefault("probe_iterations", 2)
+    return LoopModeAutoTuner(**kw)
+
+
+def _drive_trials(tuner, fused_cost, split_cost):
+    costs = {"fused": fused_cost, "split": split_cost}
+    while not tuner.finished:
+        tuner.record(costs[tuner.mode])
+
+
+class TestContinuousTuner:
+    def test_settle_decision_after_trials(self):
+        tuner = _tuner()
+        _drive_trials(tuner, fused_cost=2.0, split_cost=1.0)
+        assert tuner.mode == "split"
+        assert [d["event"] for d in tuner.decisions] == ["settle"]
+        assert tuner.decisions[0]["mode"] == "split"
+        assert tuner.ewma == {"fused": 2.0, "split": 1.0}
+
+    def test_probe_then_switch_when_alternate_wins(self):
+        # a long-enough probe lets the fresh evidence outweigh the
+        # stale trial seed in the alternate's EWMA
+        tuner = _tuner(probe_iterations=6)
+        _drive_trials(tuner, fused_cost=2.0, split_cost=1.0)
+        # steady state: split runs, but the world changed — fused is
+        # now far cheaper, so the scheduled probe must flip the mode
+        for _ in range(5):
+            assert tuner.mode == "split"
+            tuner.record(1.0)
+        assert tuner.decisions[-1]["event"] == "probe"
+        for _ in range(6):
+            assert tuner.mode == "fused"  # probing
+            tuner.record(0.2)
+        assert tuner.decisions[-1]["event"] == "switch"
+        assert tuner.decisions[-1]["to"] == "fused"
+        assert tuner.mode == "fused"
+
+    def test_hysteresis_no_flip_under_small_noise(self):
+        """<5% cost noise must never change the loop path."""
+        tuner = _tuner(hysteresis=0.05)
+        _drive_trials(tuner, fused_cost=2.0, split_cost=1.0)
+        rng = np.random.default_rng(11)
+        for _ in range(200):
+            mode = tuner.mode
+            # alternate reads up to 4% cheaper than incumbent: inside
+            # the hysteresis band either way
+            base = 1.0 if mode == "split" else 0.97
+            tuner.record(base * (1.0 + 0.01 * rng.standard_normal()))
+        events = {d["event"] for d in tuner.decisions}
+        assert "switch" not in events
+        assert "keep" in events  # probes happened, all rejected
+        assert tuner.mode == "split"
+
+    def test_decisions_deterministic_for_same_costs(self):
+        def run():
+            tuner = _tuner()
+            _drive_trials(tuner, fused_cost=1.0, split_cost=2.0)
+            for i in range(40):
+                tuner.record(1.0 + 0.5 * (i % 3 == 0))
+            return tuner.decisions
+
+        assert run() == run()
+
+    def test_one_shot_ignores_post_trial_records(self):
+        tuner = LoopModeAutoTuner(trial_iterations=1)
+        tuner.record(2.0)  # fused
+        tuner.record(1.0)  # split
+        assert tuner.finished
+        tuner.record(99.0)  # ignored: not continuous
+        assert tuner.mode == "split"
+        assert tuner.decisions == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoopModeAutoTuner(ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            LoopModeAutoTuner(hysteresis=-0.1)
+        with pytest.raises(ValueError):
+            LoopModeAutoTuner(recheck_every=0)
+        with pytest.raises(ValueError):
+            LoopModeAutoTuner(probe_iterations=0)

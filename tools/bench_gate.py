@@ -1,10 +1,11 @@
 #!/usr/bin/env python
-"""Performance gate: the fused single-pass kernel must beat splitting.
+"""Performance gates: fused must beat splitting; adaptive must not drag.
 
-The whole point of the fused fast path is that a JIT backend's single
-sweep over the particle arrays wins over three split passes that
-re-stream them from DRAM (the inverse of the paper's §IV-B trade under
-a vectorizing C compiler).  This gate makes that claim executable:
+Two executable performance claims, checked in one run:
+
+**Fused gate** — a JIT backend's single sweep over the particle arrays
+must win over three split passes that re-stream them from DRAM (the
+inverse of the paper's §IV-B trade under a vectorizing C compiler):
 
 * measure split vs fused on the best fused-capable backend (numba)
   via :func:`benchmarks.bench_simulation_throughput.measure_loop_modes`;
@@ -13,9 +14,27 @@ a vectorizing C compiler).  This gate makes that claim executable:
 * report the deposit+interpolate phase speedup against the paper-scale
   target (``--target-speedup``, default 1.5) — a warning, not a
   failure, since it depends on core count and memory bandwidth;
-* **skip** (exit 0 with a message) when no fused-capable backend is
+* **skip this gate** (with a message) when no fused-capable backend is
   importable: the numpy rendering of fusion is chunked looping, which
   carries no such guarantee, so there is nothing to gate.
+
+**Adaptive-deposit gate** — the tiled density-aware charge deposit
+(:mod:`repro.core.deposit`) promises bitwise-identical physics, so the
+only thing it may cost is dispatch overhead.  This gate bounds it:
+
+* time the adaptive deposit kernel against the static whole-grid
+  deposit on the live particle state of the committed baseline
+  workload, min-of-``--repeats`` windows each (min-of-k is the only
+  robust statistic on a noisy box — a single window routinely reads
+  1.5x on a true 1.1x);
+* **fail** (exit 1) if adaptive exceeds ``--max-adaptive-ratio``
+  (default 1.25) times the static time.  On the uniform bench plasma
+  the dispatcher coalesces into one whole-grid pass, so the measured
+  overhead is just the block histogram — a real regression shows up
+  far above 1.25x.
+
+This gate always runs: it needs only the ``tiled_deposit`` capability,
+which the pure-numpy backend provides.
 
 Wired into ``make bench-gate`` (and ``make check``).  Pass
 ``--update-baseline`` to refresh ``BENCH_baseline.json`` with the
@@ -30,6 +49,58 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
 sys.path.insert(0, str(ROOT / "benchmarks"))
+
+
+def _adaptive_deposit_ratio(backend_name, n, repeats):
+    """Adaptive vs static deposit, min-of-``repeats`` kernel windows.
+
+    Advances the committed baseline workload a couple of steps so the
+    particle distribution is the one the bench measures, then times the
+    two deposit renderings on the frozen arrays — no solver, no push,
+    no per-step noise sources in the window.
+    """
+    import time
+
+    import numpy as np
+    from bench_simulation_throughput import ADAPTIVE_BLOCK_SIZE, _make_sim
+
+    from repro.core import OptimizationConfig
+    from repro.core.backends import get_backend
+
+    backend = get_backend(backend_name)
+    cfg = OptimizationConfig.fully_optimized().with_(backend=backend_name)
+    sim = _make_sim(cfg, n)
+    try:
+        sim.run(2)
+        p = sim.stepper.particles
+        icell = np.array(p.icell)
+        dx, dy = np.array(p.dx), np.array(p.dy)
+        ncells = int(sim.stepper.fields.rho_1d.shape[0])
+    finally:
+        sim.close()
+
+    rho = np.zeros((ncells, 4))
+
+    def best(fn):
+        b = float("inf")
+        for _ in range(repeats):
+            rho[:] = 0.0
+            t0 = time.perf_counter()
+            fn()
+            b = min(b, time.perf_counter() - t0)
+        return b
+
+    variants = {}
+
+    def adaptive():
+        variants.update(backend.accumulate_redundant_tiled(
+            rho, icell, dx, dy, 1.0, block_size=ADAPTIVE_BLOCK_SIZE
+        ))
+
+    static = best(lambda: backend.accumulate_redundant(rho, icell, dx, dy, 1.0))
+    adapt = best(adaptive)
+    ratio = adapt / static if static > 0 else 1.0
+    return ratio, static, adapt, variants
 
 
 def main(argv=None):
@@ -49,10 +120,32 @@ def main(argv=None):
                          "this factor faster than split (default 1.0)")
     ap.add_argument("--target-speedup", type=float, default=1.5,
                     help="soft target on the deposit+interpolate phases")
+    ap.add_argument("--max-adaptive-ratio", type=float, default=1.25,
+                    help="hard gate: the adaptive deposit may cost at most "
+                         "this factor of the static whole-grid deposit "
+                         "(default 1.25)")
+    ap.add_argument("--repeats", type=int, default=5,
+                    help="kernel windows per side for the adaptive gate; "
+                         "min-of-k is compared (default 5)")
     ap.add_argument("--update-baseline", action="store_true",
                     help="write the measurements into BENCH_baseline.json")
     args = ap.parse_args(argv)
 
+    measured: dict[str, dict] = {}
+
+    def measure(backend):
+        if backend not in measured:
+            print(f"bench-gate: measuring split vs fused vs adaptive on "
+                  f"{backend!r} (n={args.particles}, steps={args.steps})",
+                  flush=True)
+            measured[backend] = measure_loop_modes(
+                backend, args.particles, args.steps, args.warmup_steps
+            )
+        return measured[backend]
+
+    failures = []
+
+    # -- gate 1: fused beats split on a JIT backend -------------------
     fused_capable = [
         b for b in available_backends() if get_backend(b).supports("fused")
     ]
@@ -61,60 +154,99 @@ def main(argv=None):
             print(f"bench-gate: FAIL — backend {args.backend!r} does not "
                   f"offer the 'fused' capability (capable: {fused_capable})")
             return 1
-        backend = args.backend
+        fused_backend = args.backend
     elif fused_capable:
-        backend = max(fused_capable, key=lambda b: get_backend(b).priority)
+        fused_backend = max(
+            fused_capable, key=lambda b: get_backend(b).priority
+        )
     else:
-        print("bench-gate: SKIP — no fused-capable backend available "
-              "(numba is not installed); the numpy rendering of fusion is "
-              "chunked looping, which this gate does not constrain")
-        return 0
+        fused_backend = None
+        print("bench-gate: fused gate SKIP — no fused-capable backend "
+              "available (numba is not installed); the numpy rendering of "
+              "fusion is chunked looping, which this gate does not "
+              "constrain")
 
-    print(f"bench-gate: measuring split vs fused on {backend!r} "
-          f"(n={args.particles}, steps={args.steps})", flush=True)
-    rec = measure_loop_modes(
-        backend, args.particles, args.steps, args.warmup_steps
-    )
-    split, fused = rec["split"], rec["fused"]
+    if fused_backend is not None:
+        rec = measure(fused_backend)
+        split, fused = rec["split"], rec["fused"]
 
-    kernel_speedup = (
-        split["kernel_seconds_per_step"] / fused["kernel_seconds_per_step"]
-        if fused["kernel_seconds_per_step"] > 0 else float("inf")
-    )
-    # deposit+interpolate: the phases the paper's §V-B numbers isolate.
-    # Split renders interpolation inside update_v; fused folds it into
-    # the single-pass kernel — either way deposit rides along.
-    split_di = split["phase_seconds"]["update_v"] + split["phase_seconds"]["accumulate"]
-    fused_di = fused["phase_seconds"]["fused"] + fused["phase_seconds"]["accumulate"]
-    di_speedup = split_di / fused_di if fused_di > 0 else float("inf")
+        kernel_speedup = (
+            split["kernel_seconds_per_step"] / fused["kernel_seconds_per_step"]
+            if fused["kernel_seconds_per_step"] > 0 else float("inf")
+        )
+        # deposit+interpolate: the phases the paper's §V-B numbers
+        # isolate.  Split renders interpolation inside update_v; fused
+        # folds it into the single-pass kernel — either way deposit
+        # rides along.
+        split_di = (split["phase_seconds"]["update_v"]
+                    + split["phase_seconds"]["accumulate"])
+        fused_di = (fused["phase_seconds"]["fused"]
+                    + fused["phase_seconds"]["accumulate"])
+        di_speedup = split_di / fused_di if fused_di > 0 else float("inf")
 
-    for mode, r in (("split", split), ("fused", fused)):
-        print(f"  {mode:6s}: {r['kernel_seconds_per_step'] * 1e3:8.2f} ms/step "
-              f"kernels, {r['particles_per_second'] / 1e6:7.2f} M "
-              f"particle-steps/s  (paths: {r['loop_paths']})")
-    print(f"  fused kernel speedup:              {kernel_speedup:5.2f}x "
-          f"(gate: >= {args.min_speedup:.2f}x)")
-    print(f"  deposit+interpolate phase speedup: {di_speedup:5.2f}x "
-          f"(target: >= {args.target_speedup:.2f}x)")
+        for mode, r in (("split", split), ("fused", fused)):
+            print(f"  {mode:6s}: {r['kernel_seconds_per_step'] * 1e3:8.2f} "
+                  f"ms/step kernels, {r['particles_per_second'] / 1e6:7.2f} "
+                  f"M particle-steps/s  (paths: {r['loop_paths']})")
+        print(f"  fused kernel speedup:              {kernel_speedup:5.2f}x "
+              f"(gate: >= {args.min_speedup:.2f}x)")
+        print(f"  deposit+interpolate phase speedup: {di_speedup:5.2f}x "
+              f"(target: >= {args.target_speedup:.2f}x)")
+
+        if kernel_speedup < args.min_speedup:
+            failures.append(
+                f"fused path is slower than split on {fused_backend!r} "
+                f"({kernel_speedup:.2f}x < {args.min_speedup:.2f}x)"
+            )
+        elif di_speedup < args.target_speedup:
+            print(f"  (warning: deposit+interpolate speedup "
+                  f"{di_speedup:.2f}x below the {args.target_speedup:.2f}x "
+                  f"target on this machine)")
+
+    # -- gate 2: adaptive deposit must not drag -----------------------
+    tiled_capable = [
+        b for b in available_backends()
+        if get_backend(b).supports("tiled_deposit")
+    ]
+    if not tiled_capable:
+        print("bench-gate: adaptive gate SKIP — no tiled_deposit-capable "
+              "backend available")
+    else:
+        adaptive_backend = (
+            fused_backend if fused_backend in tiled_capable
+            else max(tiled_capable, key=lambda b: get_backend(b).priority)
+        )
+        if args.update_baseline:
+            measure(adaptive_backend)  # full mode rows for the baseline
+        ratio, static_s, adaptive_s, variants = _adaptive_deposit_ratio(
+            adaptive_backend, args.particles, args.repeats
+        )
+        print(f"  adaptive deposit on {adaptive_backend!r}: "
+              f"{adaptive_s * 1e3:.2f} ms vs static "
+              f"{static_s * 1e3:.2f} ms (min of {args.repeats}) — ratio "
+              f"{ratio:.2f}x (gate: <= {args.max_adaptive_ratio:.2f}x; "
+              f"variants: {variants})")
+        if ratio > args.max_adaptive_ratio:
+            failures.append(
+                f"adaptive deposit costs {ratio:.2f}x the static "
+                f"whole-grid deposit on {adaptive_backend!r} "
+                f"(> {args.max_adaptive_ratio:.2f}x)"
+            )
 
     if args.update_baseline:
         path = ROOT / "BENCH_baseline.json"
         doc = json.loads(path.read_text()) if path.exists() else {
             "meta": {}, "results": {},
         }
-        doc["results"][backend] = rec
+        for backend, rec in measured.items():
+            doc["results"][backend] = rec
         path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
         print(f"  updated {path}")
 
-    if kernel_speedup < args.min_speedup:
-        print(f"bench-gate: FAIL — fused path is slower than split on "
-              f"{backend!r} ({kernel_speedup:.2f}x < {args.min_speedup:.2f}x)")
+    if failures:
+        for f in failures:
+            print(f"bench-gate: FAIL — {f}")
         return 1
-    if di_speedup < args.target_speedup:
-        print(f"bench-gate: PASS (with warning: deposit+interpolate speedup "
-              f"{di_speedup:.2f}x below the {args.target_speedup:.2f}x target "
-              f"on this machine)")
-        return 0
     print("bench-gate: PASS")
     return 0
 
