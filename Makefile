@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-service bench bench-gate bench-scaling chaos examples results clean docs-check check verify-gate verify-full
+.PHONY: install test test-service bench bench-gate bench-scaling chaos chaos-service examples results clean docs-check check verify-gate verify-full
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -17,15 +17,21 @@ docs-check:
 # fast service-layer subset: the multi-job engine (submit/cancel/
 # priority/preempt-resume/isolation) and the spool/CLI front-end
 test-service:
-	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_service_engine.py tests/test_service_cli.py
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_service_engine.py tests/test_service_cli.py tests/test_service_recovery.py
 
-check: docs-check chaos bench-gate verify-gate test-service
+check: docs-check chaos chaos-service bench-gate verify-gate test-service
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/
 
 # fault-injection suite under a fixed seed, then assert zero leaked
 # /dev/shm segments and zero checkpoint temp files
 chaos:
 	$(PYTHON) tools/chaos_check.py
+
+# service-level chaos gate: SIGKILL `repro serve` mid-campaign, restart
+# with --recover, assert every job settles bitwise-equal to an
+# uninterrupted golden run and no *.tmp / orphan *.lease litter remains
+chaos-service:
+	PYTHONPATH=src $(PYTHON) tools/chaos_service.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -14,7 +14,14 @@ Commands:
   worker pool with priority scheduling and preemption;
 * ``submit`` — queue a job document into a spool directory for a
   running (or later) ``serve``, optionally waiting for its result;
+* ``spool`` — spool maintenance (``spool gc`` removes settled results
+  and quarantined documents older than a retention age);
 * ``info`` — library, machine-preset and configuration summary.
+
+Exit codes: 0 success; 1 failed check/job; 2 bad arguments or
+unavailable backend; 3 permanent supervised-run failure; 4 ``submit
+--wait`` timeout; 5 ``serve`` drained by SIGTERM/SIGINT (running jobs
+parked, journal flushed — restart with ``--recover`` to resume them).
 
 Everything the CLI prints is computed through the same public API the
 examples use; the CLI adds no behaviour of its own.
@@ -198,8 +205,29 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--max-jobs", type=int, default=None, metavar="N",
                      help="claim at most N jobs, then exit once they settle")
     srv.add_argument("--data-dir", type=str, default=None, metavar="DIR",
-                     help="keep per-job checkpoint directories here "
-                     "(default: private temp dir, removed on exit)")
+                     help="keep the engine's durable state here: per-job "
+                     "checkpoint directories and the lifecycle journal "
+                     "(default: private temp dir, removed on exit; required "
+                     "for --recover)")
+    srv.add_argument("--recover", action="store_true",
+                     help="rebuild the engine from --data-dir's journal "
+                     "before serving: jobs interrupted by a previous "
+                     "server's death resume from their checkpoints and "
+                     "their claims are re-adopted")
+    srv.add_argument("--lease-ttl", type=float, default=30.0, metavar="SECS",
+                     help="seconds without a claim-lease heartbeat before "
+                     "another server may reclaim the claim back into the "
+                     "queue (default: 30)")
+    srv.add_argument("--owner", type=str, default=None, metavar="ID",
+                     help="lease owner identity (default: a unique "
+                     "host-pid-nonce string)")
+    srv.add_argument("--gc-older-than", type=str, default=None, metavar="AGE",
+                     help="periodically remove settled results and "
+                     "quarantined documents older than AGE (e.g. 90, 30s, "
+                     "5m, 2h, 1d; default: keep forever)")
+    srv.add_argument("--gc-every", type=int, default=50, metavar="N",
+                     help="polls between gc sweeps when --gc-older-than is "
+                     "set (default: 50)")
 
     smt = sub.add_parser(
         "submit",
@@ -232,6 +260,17 @@ def build_parser() -> argparse.ArgumentParser:
     smt.add_argument("--guards", type=str, default="default", metavar="SPEC",
                      help="guard spec for the job's supervised run "
                      "(default: 'default')")
+    smt.add_argument("--max-retries", type=int, default=3, metavar="R",
+                     help="consecutive in-job failures before backend "
+                     "degradation (default: 3)")
+    smt.add_argument("--deadline", type=float, default=None, metavar="SECS",
+                     help="wall-clock budget across all of the job's "
+                     "scheduling segments; exceeded -> FAILED with a "
+                     "'deadline' reason (default: none)")
+    smt.add_argument("--retry-backoff", type=float, default=0.0,
+                     metavar="SECS",
+                     help="base seconds of exponential backoff between the "
+                     "job's rollback-retries (default: 0, retry at once)")
     smt.add_argument("--job-id", type=str, default=None, metavar="ID",
                      help="explicit job id (default: generated)")
     smt.add_argument("--wait", action="store_true",
@@ -239,6 +278,18 @@ def build_parser() -> argparse.ArgumentParser:
                      "and print its summary")
     smt.add_argument("--timeout", type=float, default=None, metavar="SECS",
                      help="with --wait: give up after this many seconds")
+
+    spl = sub.add_parser("spool", help="spool maintenance")
+    spl_sub = spl.add_subparsers(dest="spool_command", required=True)
+    spl_gc = spl_sub.add_parser(
+        "gc",
+        help="remove settled results and quarantined documents older "
+        "than a retention age (in-flight jobs are never touched)",
+    )
+    spl_gc.add_argument("--spool", required=True, metavar="DIR",
+                        help="spool directory to collect")
+    spl_gc.add_argument("--older-than", required=True, metavar="AGE",
+                        help="retention age, e.g. 90, 30s, 5m, 2h, 1d")
 
     sub.add_parser("info", help="library and machine-preset summary")
     return parser
@@ -476,30 +527,66 @@ def _cmd_verify(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
     from repro.service import serve_spool
+    from repro.service.spool import parse_age
+
+    if args.recover and not args.data_dir:
+        raise ValueError("--recover requires --data-dir (the journal and "
+                         "checkpoints live there)")
+    gc_older_than = (parse_age(args.gc_older_than)
+                     if args.gc_older_than is not None else None)
 
     def on_settle(job_id, doc):
         drift = doc.get("energy_drift")
         extra = f" drift={drift:.3e}" if drift is not None else ""
         if doc.get("error"):
             extra += f" [{doc['error']}]"
-        print(f"settled {job_id}: {doc['state']} "
+        state = doc["state"]
+        if state == "duplicate":
+            print(f"settled {job_id}: duplicate submission{extra}")
+            return
+        print(f"settled {job_id}: {state} "
               f"{doc['steps_done']}/{doc['steps_total']} steps, "
               f"{doc['preemptions']} preemption(s){extra}")
 
+    # graceful drain: SIGTERM/SIGINT stop the claim loop; the engine
+    # shutdown parks running jobs and flushes the journal, so a
+    # restart with --recover picks up exactly where this server left
+    stop = threading.Event()
+
+    def _on_signal(signum, _frame):
+        print(f"received {signal.Signals(signum).name}; draining "
+              "(running jobs will be parked)", file=sys.stderr)
+        stop.set()
+
+    previous = {sig: signal.signal(sig, _on_signal)
+                for sig in (signal.SIGTERM, signal.SIGINT)}
     print(f"serving spool {args.spool} with {args.max_workers} worker(s)"
-          + (" (drain mode)" if args.drain else " (Ctrl-C to stop)"))
-    settled = serve_spool(
-        args.spool,
-        max_workers=args.max_workers,
-        poll=args.poll,
-        drain=args.drain,
-        max_jobs=args.max_jobs,
-        data_dir=args.data_dir,
-        on_settle=on_settle,
-    )
+          + (" (drain mode)" if args.drain else " (SIGTERM/Ctrl-C to stop)"))
+    try:
+        settled = serve_spool(
+            args.spool,
+            max_workers=args.max_workers,
+            poll=args.poll,
+            drain=args.drain,
+            max_jobs=args.max_jobs,
+            data_dir=args.data_dir,
+            on_settle=on_settle,
+            lease_ttl=args.lease_ttl,
+            owner=args.owner,
+            recover=args.recover,
+            gc_older_than=gc_older_than,
+            gc_every=args.gc_every,
+            stop=stop.is_set,
+        )
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
     print(f"served {settled} job(s)")
-    return 0
+    return 5 if stop.is_set() else 0
 
 
 def _cmd_submit(args) -> int:
@@ -519,6 +606,9 @@ def _cmd_submit(args) -> int:
         priority=args.priority,
         checkpoint_every=args.checkpoint_every,
         guards=args.guards,
+        max_retries=args.max_retries,
+        deadline_s=args.deadline,
+        retry_backoff=args.retry_backoff,
     )
     job_id = submit_to_spool(args.spool, job, job_id=args.job_id)
     print(f"submitted {job_id}: {job.describe()}")
@@ -539,6 +629,16 @@ def _cmd_submit(args) -> int:
     if doc.get("error"):
         print(f"error    : {doc['error']}", file=sys.stderr)
     return 0 if doc["state"] == "succeeded" else 1
+
+
+def _cmd_spool(args) -> int:
+    from repro.service.spool import gc_spool, parse_age
+
+    if args.spool_command == "gc":
+        removed = gc_spool(args.spool, parse_age(args.older_than))
+        print(f"removed {removed} document(s)")
+        return 0
+    raise ValueError(f"unknown spool command {args.spool_command!r}")
 
 
 def _cmd_info(_args) -> int:
@@ -593,6 +693,7 @@ def main(argv=None) -> int:
         "verify": _cmd_verify,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
+        "spool": _cmd_spool,
         "info": _cmd_info,
     }
     try:

@@ -20,6 +20,7 @@ The engine never imports this package; supervision is strictly opt-in
 from repro.resilience.faultinject import (
     FaultInjector,
     InjectedKernelError,
+    lease_clock_skew,
     truncate_file,
 )
 from repro.resilience.guards import (
@@ -29,6 +30,7 @@ from repro.resilience.guards import (
 )
 from repro.resilience.supervisor import (
     CheckpointRotation,
+    DeadlineExceededError,
     GuardTrippedError,
     RunReport,
     SupervisedRun,
@@ -44,7 +46,9 @@ __all__ = [
     "RunReport",
     "SupervisedRun",
     "SupervisionError",
+    "DeadlineExceededError",
     "FaultInjector",
     "InjectedKernelError",
+    "lease_clock_skew",
     "truncate_file",
 ]

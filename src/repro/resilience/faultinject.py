@@ -12,6 +12,13 @@ this module provides reproducible ways to break a running simulation:
   is active (a persistent fault that degradation "fixes");
 * :meth:`FaultInjector.add_worker_kill` — SIGKILL one ``numpy-mp``
   worker mid-run (exercises the pool's respawn + serial-retry path);
+* :meth:`FaultInjector.add_engine_death` — SIGKILL the *whole serving
+  process* just before a chosen step (the service-level crash the
+  durable journal and spool leases exist to survive; used by
+  ``tools/chaos_service.py`` and the recovery tests);
+* :func:`lease_clock_skew` — a context manager that skews the spool's
+  lease clock by a chosen number of seconds, so stale-lease reclaim
+  can be exercised without sleeping through a real TTL;
 * :func:`truncate_file` — tear a checkpoint archive on disk.
 
 The injector is driven by :class:`~repro.resilience.supervisor.
@@ -30,7 +37,10 @@ explicitly.
 
 from __future__ import annotations
 
+import contextlib
+import logging
 import os
+import signal
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -39,8 +49,11 @@ __all__ = [
     "Fault",
     "FaultInjector",
     "InjectedKernelError",
+    "lease_clock_skew",
     "truncate_file",
 ]
+
+logger = logging.getLogger("repro.resilience")
 
 
 class InjectedKernelError(RuntimeError):
@@ -51,8 +64,9 @@ class InjectedKernelError(RuntimeError):
 class Fault:
     """One scheduled fault.
 
-    ``kind`` is ``"nan"``, ``"kernel_raise"`` or ``"worker_kill"``;
-    the remaining fields apply per kind (see the ``add_*`` helpers).
+    ``kind`` is ``"nan"``, ``"kernel_raise"``, ``"worker_kill"`` or
+    ``"engine_death"``; the remaining fields apply per kind (see the
+    ``add_*`` helpers).
     ``fired`` counts activations, so ``once`` faults stay spent across
     rollback re-execution of their step.
     """
@@ -146,6 +160,19 @@ class FaultInjector:
                                  once=once))
         return self
 
+    def add_engine_death(self, step: int, once: bool = True) -> "FaultInjector":
+        """SIGKILL the *current process* just before ``step`` executes.
+
+        The service-level crash model: not a worker, not a kernel —
+        the serving engine itself dies without any chance to park,
+        flush or clean up.  Nothing downstream of the kill runs, so
+        this is only meaningful in a sacrificial subprocess (the chaos
+        harness and the recovery tests spawn one); the durable journal
+        and spool leases are what make the aftermath recoverable.
+        """
+        self.faults.append(Fault("engine_death", int(step), once=once))
+        return self
+
     # ------------------------------------------------------------------
     # Execution (driven by the supervisor)
     # ------------------------------------------------------------------
@@ -157,6 +184,12 @@ class FaultInjector:
                 self._poison(stepper, f)
             elif f.kind == "worker_kill" and self._due(f, step):
                 self._kill_worker(stepper, real, f)
+            elif f.kind == "engine_death" and self._due(f, step):
+                f.fired += 1
+                self.log.append((step, "engine_death", "SIGKILL self"))
+                logger.warning("injected engine death at step %d "
+                               "(SIGKILL pid %d)", step, os.getpid())
+                os.kill(os.getpid(), signal.SIGKILL)
         # (re)install or remove the kernel trap to match what is armed
         armed = [
             f for f in self.faults
@@ -207,6 +240,27 @@ class FaultInjector:
         engine.pool.kill_worker(fault.worker)
         self.log.append((fault.step, "worker_kill",
                          f"killed worker {fault.worker}"))
+
+
+@contextlib.contextmanager
+def lease_clock_skew(seconds: float):
+    """Skew the spool's lease clock by ``seconds`` inside the block.
+
+    Positive skew makes this process's lease reads/writes see a clock
+    that far in the *future* — so leases written by an unskewed writer
+    look that many seconds staler than they are, which is exactly the
+    fault model of a fleet with drifting wall clocks.  The recovery
+    tests use it to exercise ``reclaim_stale`` without sleeping
+    through a real ``--lease-ttl``.
+    """
+    from repro.service import spool
+
+    previous = spool._CLOCK_SKEW
+    spool._CLOCK_SKEW = previous + float(seconds)
+    try:
+        yield
+    finally:
+        spool._CLOCK_SKEW = previous
 
 
 def truncate_file(path, keep_bytes: int | None = None,

@@ -34,6 +34,7 @@ Usage::
 
 from __future__ import annotations
 
+import logging
 import pathlib
 import re
 import tempfile
@@ -48,10 +49,13 @@ from repro.core.checkpoint import (
 )
 from repro.resilience.guards import GuardSuite, GuardViolation
 
+logger = logging.getLogger("repro.resilience")
+
 __all__ = [
     "SupervisedRun",
     "RunReport",
     "SupervisionError",
+    "DeadlineExceededError",
     "GuardTrippedError",
     "CheckpointRotation",
 ]
@@ -66,6 +70,13 @@ class SupervisionError(RuntimeError):
     def __init__(self, message: str, report: "RunReport | None" = None):
         super().__init__(message)
         self.report = report
+
+
+class DeadlineExceededError(SupervisionError):
+    """The run's wall-clock deadline elapsed.  Enforced cooperatively
+    at step boundaries in :meth:`SupervisedRun.run`, so state is fully
+    consistent when it surfaces; the engine settles such a job FAILED
+    with a ``deadline`` reason instead of retrying it forever."""
 
 
 class GuardTrippedError(RuntimeError):
@@ -95,6 +106,8 @@ class RunReport:
     recoveries: int = 0
     checkpoints_written: int = 0
     checkpoints_discarded: int = 0
+    #: total seconds slept in retry backoff (0.0 unless backoff_base>0)
+    backoff_seconds: float = 0.0
     failures: list[dict] = field(default_factory=list)
     degradations: list[dict] = field(default_factory=list)
     backend_history: list[str] = field(default_factory=list)
@@ -106,6 +119,7 @@ class RunReport:
             "recoveries": self.recoveries,
             "checkpoints_written": self.checkpoints_written,
             "checkpoints_discarded": self.checkpoints_discarded,
+            "backoff_seconds": self.backoff_seconds,
             "failures": [dict(f) for f in self.failures],
             "degradations": [dict(d) for d in self.degradations],
             "backend_history": list(self.backend_history),
@@ -188,6 +202,23 @@ class SupervisedRun:
         Sleep ``min(base * factor**(attempt-1), max_backoff)`` seconds
         before each retry; the default base of 0 disables sleeping
         (faults here are deterministic, not contention).
+    deadline_s:
+        Optional wall-clock budget in seconds.  Checked cooperatively
+        before every step of :meth:`run`; when
+        ``elapsed_offset + time-in-this-run`` exceeds it the run stops
+        at the step boundary with :class:`DeadlineExceededError` (the
+        report is published first).  ``None`` disables the deadline.
+    elapsed_offset:
+        Wall-clock seconds already spent on this workload *before*
+        this supervisor started — how the job engine makes a deadline
+        span preemption segments (it passes the job's accumulated
+        ``run_seconds``).
+    on_checkpoint:
+        Optional ``callback(path, iteration)`` fired after every
+        checkpoint write (cadence and :meth:`park` alike).  The job
+        engine uses it to persist a diagnostic-history sidecar next to
+        the rotation; callback exceptions are swallowed with a log
+        line, never failing the run.
     injector:
         Optional :class:`~repro.resilience.faultinject.FaultInjector`
         whose ``before_step`` hook is invoked ahead of every step.
@@ -207,12 +238,17 @@ class SupervisedRun:
         backoff_base: float = 0.0,
         backoff_factor: float = 2.0,
         max_backoff: float = 30.0,
+        deadline_s: float | None = None,
+        elapsed_offset: float = 0.0,
+        on_checkpoint=None,
         injector=None,
     ):
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         if max_retries < 1:
             raise ValueError("max_retries must be >= 1")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
         self.sim = sim
         self._tmpdir = None
         if checkpoint_dir is None:
@@ -228,6 +264,9 @@ class SupervisedRun:
         self.backoff_base = float(backoff_base)
         self.backoff_factor = float(backoff_factor)
         self.max_backoff = float(max_backoff)
+        self.deadline_s = None if deadline_s is None else float(deadline_s)
+        self.elapsed_offset = float(elapsed_offset)
+        self.on_checkpoint = on_checkpoint
         self.injector = injector
         # the degradation chain is anchored at the *resolved* backend
         # actually running, not the config string (which may be "auto")
@@ -272,11 +311,20 @@ class SupervisedRun:
         """
         stepper = self.sim.stepper
         target = stepper.iteration + int(n_steps)
+        run_started = time.monotonic()
         if not self.rotation.existing():
             self._checkpoint()
         while self.sim.stepper.iteration < target:
             if should_yield is not None and should_yield():
                 break
+            if self.deadline_s is not None:
+                elapsed = self.elapsed_offset + (time.monotonic() - run_started)
+                if elapsed > self.deadline_s:
+                    self._publish_report()
+                    raise DeadlineExceededError(
+                        f"wall-clock deadline of {self.deadline_s:g}s "
+                        f"exceeded after {elapsed:.3f}s at iteration "
+                        f"{self.sim.stepper.iteration}", self.report)
             stepper = self.sim.stepper
             step_index = stepper.iteration
             try:
@@ -321,11 +369,17 @@ class SupervisedRun:
 
     # ------------------------------------------------------------------
     def _checkpoint(self) -> None:
-        self.rotation.save(self.sim.stepper)
+        path = self.rotation.save(self.sim.stepper)
         self.report.checkpoints_written += 1
         # a fresh checkpoint is proof of progress: the retry budget
         # resets, so only *consecutive* failures trigger degradation
         self._attempts = 0
+        if self.on_checkpoint is not None:
+            try:
+                self.on_checkpoint(path, self.sim.stepper.iteration)
+            except Exception:
+                # a sidecar/observer failure must never fail the run
+                logger.exception("on_checkpoint callback failed for %s", path)
 
     def _recover(self, exc: Exception, step_index: int) -> None:
         failure = {
@@ -341,10 +395,12 @@ class SupervisedRun:
         if self._attempts > self.max_retries:
             self._degrade(exc)
         elif self.backoff_base > 0.0:
-            time.sleep(min(
+            pause = min(
                 self.backoff_base * self.backoff_factor ** (self._attempts - 1),
                 self.max_backoff,
-            ))
+            )
+            self.report.backoff_seconds += pause
+            time.sleep(pause)
         self._rollback()
         self.report.recoveries += 1
         self._publish_report()

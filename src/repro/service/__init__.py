@@ -45,8 +45,12 @@ from repro.service.engine import (
     UnknownJobError,
 )
 from repro.service.job import JobInfo, JobResult, JobState, PICJob
+from repro.service.journal import JobJournal, write_json_atomic
 from repro.service.spool import (
+    gc_spool,
+    parse_age,
     read_result,
+    reclaim_stale,
     serve_spool,
     submit_to_spool,
     wait_for_result,
@@ -63,8 +67,13 @@ __all__ = [
     "UnknownJobError",
     "JobClient",
     "JobHandle",
+    "JobJournal",
+    "write_json_atomic",
     "submit_to_spool",
     "read_result",
     "wait_for_result",
     "serve_spool",
+    "reclaim_stale",
+    "gc_spool",
+    "parse_age",
 ]

@@ -95,6 +95,26 @@ class JobClient:
             max_workers=max_workers, data_dir=data_dir,
         )
 
+    @classmethod
+    def recover(cls, data_dir, *, max_workers: int = 2) -> "JobClient":
+        """A client over an engine rebuilt from ``data_dir``'s journal.
+
+        Jobs interrupted by a previous engine's death (clean close or
+        SIGKILL alike) are re-queued and resume from their newest
+        loadable checkpoint; use :meth:`handles` to get a
+        :class:`JobHandle` for each and block on their results.  The
+        recovered engine is owned by the client and closed on exit.
+        """
+        client = cls(JobEngine.recover(data_dir, max_workers=max_workers))
+        client._owns_engine = True
+        return client
+
+    def handles(self) -> list[JobHandle]:
+        """A handle for every job the engine knows, in submission
+        order — the natural follow-up to :meth:`recover`."""
+        return [JobHandle(self.engine, info.job_id, None)
+                for info in self.engine.list_jobs()]
+
     # ------------------------------------------------------------------
     def submit(self, job: PICJob, **kwargs) -> JobHandle:
         """Queue a job and return its :class:`JobHandle`."""

@@ -55,8 +55,17 @@ from dataclasses import dataclass, field
 
 from repro.core.checkpoint import CheckpointMismatchError, load_checkpoint
 from repro.core.simulation import Simulation, SimulationHistory
-from repro.resilience.supervisor import SupervisedRun, SupervisionError
+from repro.resilience.supervisor import (
+    DeadlineExceededError,
+    SupervisedRun,
+    SupervisionError,
+)
 from repro.service.job import JobInfo, JobResult, JobState, PICJob
+from repro.service.journal import (
+    JobJournal,
+    read_json_tolerant,
+    write_json_atomic,
+)
 
 __all__ = ["JobEngine", "EngineStats", "EngineClosedError", "UnknownJobError"]
 
@@ -91,6 +100,8 @@ class EngineStats:
     succeeded: int = 0
     failed: int = 0
     cancelled: int = 0
+    #: jobs adopted from a prior engine's journal by :meth:`recover`
+    recovered: int = 0
     #: jobs actually parked-and-requeued (not preemption *requests*)
     preemptions: int = 0
     #: segments that restored a parked checkpoint
@@ -114,6 +125,7 @@ class EngineStats:
             "succeeded": self.succeeded,
             "failed": self.failed,
             "cancelled": self.cancelled,
+            "recovered": self.recovered,
             "preemptions": self.preemptions,
             "resumes": self.resumes,
             "started_order": list(self.started_order),
@@ -132,7 +144,7 @@ class _JobRecord:
         "steps_done", "preemptions", "segments", "error", "history",
         "instr", "ckpt_dir", "supervisor_agg", "result",
         "cancel_requested", "yield_requested", "submitted_at",
-        "first_dispatch_wait", "run_seconds",
+        "first_dispatch_wait", "run_seconds", "recovered",
     )
 
     def __init__(self, job_id: str, job: PICJob, seq: int, ckpt_dir,
@@ -157,6 +169,9 @@ class _JobRecord:
         self.submitted_at = time.monotonic()
         self.first_dispatch_wait: float | None = None
         self.run_seconds = 0.0
+        #: adopted from a prior engine's journal (restore may have to
+        #: rebuild history from the sidecar, or restart from step 0)
+        self.recovered = False
 
     def info(self) -> JobInfo:
         return JobInfo(
@@ -207,10 +222,16 @@ class JobEngine:
         ``numpy-mp`` job additionally owns real worker *processes* of
         its own, so ``max_workers`` bounds *jobs*, not host cores.
     data_dir:
-        Root for per-job checkpoint directories (parked state lives
-        here).  ``None`` uses a private temporary directory removed on
-        :meth:`close`; pass a path to keep parked jobs restartable
-        across engine restarts.
+        Root for the engine's durable state: per-job checkpoint
+        directories (parked state lives in ``<data_dir>/<job_id>/``)
+        and the append-only lifecycle journal
+        (``<data_dir>/journal.jsonl``, see
+        :mod:`repro.service.journal`).  ``None`` uses a private
+        temporary directory removed on :meth:`close`; pass a path to
+        make jobs survive the engine process itself —
+        :meth:`JobEngine.recover` on the same directory rebuilds the
+        queue and resumes interrupted jobs from their newest loadable
+        checkpoint, even after a SIGKILL.
     autostart:
         Spawn the workers immediately.  ``False`` queues submissions
         until :meth:`start` — useful for deterministic dispatch-order
@@ -238,6 +259,7 @@ class JobEngine:
             data_dir = self._tmpdir.name
         self.data_dir = pathlib.Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.journal = JobJournal(self.data_dir / "journal.jsonl")
         self.stats = EngineStats()
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
@@ -291,7 +313,12 @@ class JobEngine:
         for t in self._threads:
             t.join()
         self._threads.clear()
-        if self._tmpdir is not None:
+        if self._tmpdir is None:
+            # durable engines record the clean shutdown: the journal's
+            # last line tells recover (and operators) that every
+            # non-terminal job was parked, not killed mid-step
+            self.journal.append("shutdown")
+        else:
             self._tmpdir.cleanup()
             self._tmpdir = None
 
@@ -300,6 +327,68 @@ class JobEngine:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    @classmethod
+    def recover(cls, data_dir, *, max_workers: int = 2,
+                autostart: bool = True) -> "JobEngine":
+        """Rebuild an engine from a previous engine's ``data_dir``.
+
+        Replays the lifecycle journal and re-adopts every job that was
+        not terminal when the previous engine stopped — whether it
+        parked cleanly (:meth:`close`) or was killed outright.  Jobs
+        with a parked checkpoint re-enter the queue ``PREEMPTED`` and
+        resume from their newest loadable checkpoint with the
+        diagnostic history restored from the ``history.json`` sidecar;
+        jobs that died before any usable checkpoint restart from step
+        0.  Either way the physics is deterministic, so a recovered
+        job's final history is bitwise identical to an uninterrupted
+        run (asserted by ``tests/test_service_recovery.py`` and the
+        ``make chaos-service`` gate).
+
+        Priority and submission order are preserved from the journal,
+        so recovered dispatch order matches what the dead engine would
+        have done next.
+        """
+        engine = cls(max_workers=max_workers, data_dir=data_dir,
+                     autostart=False)
+        view = JobJournal.replay(engine.journal.path)
+        adopted = []
+        with engine._lock:
+            for job_id, info in sorted(view.items(),
+                                       key=lambda kv: kv[1]["seq"]):
+                if info["state"] in ("succeeded", "failed", "cancelled"):
+                    continue
+                if info["job"] is None:
+                    logger.warning("journal has no job description for "
+                                   "%s; cannot recover it", job_id)
+                    continue
+                try:
+                    job = PICJob.from_dict(info["job"])
+                except (TypeError, ValueError) as exc:
+                    logger.warning("unrecoverable job description for "
+                                   "%s: %s", job_id, exc)
+                    continue
+                engine._seq += 1
+                rec = _JobRecord(job_id, job, engine._seq,
+                                 engine.data_dir / job_id)
+                rec.recovered = True
+                has_ckpt = any(rec.ckpt_dir.glob("ckpt-*.npz"))
+                rec.state = (JobState.PREEMPTED if has_ckpt
+                             else JobState.QUEUED)
+                engine._jobs[job_id] = rec
+                heapq.heappush(engine._heap,
+                               (-job.priority, rec.seq, job_id))
+                engine.stats.submitted += 1
+                engine.stats.recovered += 1
+                engine.journal.append("recovered", job_id=job_id,
+                                      resumed=has_ckpt)
+                adopted.append(job_id)
+            engine._cond.notify_all()
+        for job_id in adopted:
+            logger.info("recovered %s from journal", job_id)
+        if autostart:
+            engine.start()
+        return engine
 
     # ------------------------------------------------------------------
     # Submission API
@@ -328,6 +417,8 @@ class JobEngine:
                              self.data_dir / job_id, injector=injector)
             self._jobs[job_id] = rec
             heapq.heappush(self._heap, (-job.priority, rec.seq, job_id))
+            self.journal.append("submitted", job_id=job_id, seq=rec.seq,
+                                priority=job.priority, job=job.as_dict())
             self.stats.submitted += 1
             self.stats.sample_depth("submit", self._queued_count(),
                                     len(self._running))
@@ -537,6 +628,9 @@ class JobEngine:
                     rec.first_dispatch_wait = time.monotonic() - rec.submitted_at
                 self.stats.sample_depth("dispatch", self._queued_count(),
                                         len(self._running))
+                self.journal.append("running", job_id=rec.job_id,
+                                    segment=rec.segments + 1,
+                                    resumed=resuming)
             try:
                 self._run_segment(rec, resuming)
             except Exception:  # never let a scheduling bug kill the pool
@@ -572,6 +666,10 @@ class JobEngine:
                 checkpoint_every=rec.job.checkpoint_every,
                 guards=rec.job.guards,
                 max_retries=rec.job.max_retries,
+                backoff_base=rec.job.retry_backoff,
+                deadline_s=rec.job.deadline_s,
+                elapsed_offset=rec.run_seconds,
+                on_checkpoint=self._make_history_writer(rec),
                 injector=rec.injector,
             )
         except Exception as exc:  # e.g. an unparsable guard spec
@@ -584,6 +682,7 @@ class JobEngine:
             return
         error = None
         outcome = JobState.RUNNING  # sentinel: still unsettled
+        parked_path = None
         try:
             remaining = rec.job.steps - sim.stepper.iteration
             if remaining > 0:
@@ -595,8 +694,11 @@ class JobEngine:
             elif rec.cancel_requested:
                 outcome = JobState.CANCELLED
             else:  # preemption or engine shutdown: park the exact state
-                sup.park()
+                parked_path = sup.park()
                 outcome = JobState.PREEMPTED
+        except DeadlineExceededError as exc:
+            outcome = JobState.FAILED
+            error = f"deadline: {exc}"
         except SupervisionError as exc:
             outcome = JobState.FAILED
             error = f"permanent failure: {exc}"
@@ -618,6 +720,11 @@ class JobEngine:
                 if preempted:
                     rec.preemptions += 1
                     self.stats.preemptions += 1
+                self.journal.append(
+                    "preempted", job_id=rec.job_id,
+                    iteration=rec.steps_done,
+                    checkpoint=(parked_path.name if parked_path is not None
+                                else None))
                 heapq.heappush(self._heap,
                                (-rec.job.priority, rec.seq, rec.job_id))
                 self.stats.sample_depth("park", self._queued_count(),
@@ -627,25 +734,57 @@ class JobEngine:
                 self._finalize_locked(rec, outcome, error=error)
 
     def _build_or_restore(self, rec: _JobRecord, resuming: bool) -> Simulation:
-        """A live Simulation: fresh on first dispatch, restored after."""
+        """A live Simulation: fresh on first dispatch, restored after.
+
+        For a job adopted by :meth:`recover` the in-memory history died
+        with the previous process, so it is rebuilt from the
+        ``history.json`` sidecar — and a checkpoint is only usable if
+        the sidecar covers its iteration (the sidecar is written right
+        after each checkpoint, so a SIGKILL between the two can leave a
+        newest checkpoint with no matching history; that candidate is
+        skipped for an older covered one).  When nothing usable
+        remains, a recovered job restarts from step 0: the physics is
+        deterministic, so the final state is identical either way.
+        """
         if not resuming:
             rec.ckpt_dir.mkdir(parents=True, exist_ok=True)
             return rec.job.build_simulation()
+        history = rec.history
+        if history is None and rec.recovered:
+            history = self._load_history_sidecar(rec)
         parked = sorted(rec.ckpt_dir.glob("ckpt-*.npz"), reverse=True)
+        stepper = None
         last_error: Exception | None = None
         for path in parked:  # newest first; skip torn archives
             try:
-                stepper = load_checkpoint(
+                candidate = load_checkpoint(
                     path, rec.job.make_config(), instrumentation=rec.instr,
                 )
-                break
             except CheckpointMismatchError as exc:
                 last_error = exc
-        else:
+                continue
+            if (rec.recovered and history is not None
+                    and candidate.iteration + 1 > len(history.times)):
+                candidate.close()
+                last_error = CheckpointMismatchError(
+                    f"{path.name} is newer than the history sidecar "
+                    f"({candidate.iteration + 1} > {len(history.times)})")
+                continue
+            stepper = candidate
+            break
+        if stepper is None:
+            if rec.recovered:
+                # no usable checkpoint+history pair: deterministic
+                # restart from step 0 still reproduces the same run
+                logger.warning(
+                    "no usable checkpoint for recovered job %s (%s); "
+                    "restarting from step 0", rec.job_id, last_error)
+                rec.history = None
+                rec.ckpt_dir.mkdir(parents=True, exist_ok=True)
+                return rec.job.build_simulation()
             raise CheckpointMismatchError(
                 f"no usable parked checkpoint for {rec.job_id} in "
                 f"{rec.ckpt_dir}: {last_error}")
-        history = rec.history
         if history is not None:
             # the parked checkpoint may be older than the history tip
             # (e.g. shutdown parked an earlier cadence checkpoint);
@@ -655,6 +794,48 @@ class JobEngine:
             stepper, history=history,
             mode_x=rec.job.mode_x, mode_y=rec.job.mode_y,
         )
+
+    def _load_history_sidecar(self, rec: _JobRecord) -> SimulationHistory | None:
+        """The diagnostic history persisted next to the rotation."""
+        doc = read_json_tolerant(rec.ckpt_dir / "history.json")
+        if doc is None:
+            return None
+        try:
+            return SimulationHistory(
+                times=[float(v) for v in doc["times"]],
+                field_energy=[float(v) for v in doc["field_energy"]],
+                kinetic_energy=[float(v) for v in doc["kinetic_energy"]],
+                mode_amplitude=[float(v) for v in doc["mode_amplitude"]],
+            )
+        except (KeyError, TypeError, ValueError):
+            logger.warning("unusable history sidecar for %s", rec.job_id)
+            return None
+
+    def _make_history_writer(self, rec: _JobRecord):
+        """The supervisor ``on_checkpoint`` hook for one job.
+
+        Persists the diagnostic series next to the rotation with the
+        same atomic idiom as the checkpoints themselves, so a restart
+        can resume the history bit-exactly.  Values are coerced to
+        Python floats (JSON's shortest-repr round-trip is exact for
+        float64, which is what keeps recovered summaries bitwise equal
+        to uninterrupted ones).
+        """
+        sidecar = rec.ckpt_dir / "history.json"
+
+        def write(path, iteration: int) -> None:
+            h = rec.history
+            if h is None:
+                return
+            write_json_atomic(sidecar, {
+                "iteration": int(iteration),
+                "times": [float(v) for v in h.times],
+                "field_energy": [float(v) for v in h.field_energy],
+                "kinetic_energy": [float(v) for v in h.kinetic_energy],
+                "mode_amplitude": [float(v) for v in h.mode_amplitude],
+            })
+
+        return write
 
     def _make_observer(self, rec: _JobRecord):
         """The per-step diagnostics publisher for one job."""
@@ -708,5 +889,9 @@ class JobEngine:
         else:
             self.stats.cancelled += 1
         self.stats.completed_order.append(rec.job_id)
+        self.journal.append(
+            "terminal", job_id=rec.job_id, state=state.value,
+            steps_done=rec.steps_done, error=error,
+            retries=int(rec.supervisor_agg.get("recoveries", 0)))
         shutil.rmtree(rec.ckpt_dir, ignore_errors=True)
         self._cond.notify_all()

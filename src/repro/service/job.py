@@ -120,6 +120,18 @@ class PICJob:
         (``"default"``, ``"none"``, ``"finite,charge:1e-6"``, ...).
     max_retries:
         Consecutive in-job failures before backend degradation.
+    deadline_s:
+        Optional wall-clock budget in seconds, summed across
+        preemption segments.  Enforced cooperatively at step
+        boundaries by the job's supervisor; exceeding it settles the
+        job ``FAILED`` with a ``deadline: ...`` error.  ``None``
+        (default) means no deadline.
+    retry_backoff:
+        Base seconds of exponential backoff between the supervisor's
+        rollback-retries (``base * 2**(attempt-1)``, capped).  The
+        default 0 retries immediately — right for deterministic
+        faults; set it when failures are contention-shaped (shared
+        filesystems, oversubscribed hosts).
     mode_x, mode_y:
         Spatial mode tracked in the diagnostic history.
 
@@ -153,6 +165,8 @@ class PICJob:
     checkpoint_every: int = 25
     guards: str = "default"
     max_retries: int = 3
+    deadline_s: float | None = None
+    retry_backoff: float = 0.0
     mode_x: int = 1
     mode_y: int = 0
 
@@ -180,6 +194,10 @@ class PICJob:
             raise ValueError("checkpoint_every must be >= 1")
         if self.max_retries < 1:
             raise ValueError("max_retries must be >= 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be >= 1 (or None for cpu count)")
         if self.domain is not None:

@@ -5,18 +5,37 @@ sockets, no daemons to misconfigure, works over any shared
 filesystem.  Layout::
 
     <spool>/
-      queue/     job-*.json       submitted, not yet claimed
-      claimed/   job-*.json       claimed by a serving engine
-      results/   job-*.json       terminal outcome (summary record)
+      queue/     job-*.json            submitted, not yet claimed
+      claimed/   job-*.json            claimed by a serving engine
+                 job-*.json.lease      claim ownership + heartbeat
+                 *.rejected            quarantined unparsable documents
+                 *.rejected.json       forensics sidecar (error + time)
+      results/   job-*.json            terminal outcome (summary record)
 
 ``repro submit`` writes a job document into ``queue/`` atomically
-(tmp + rename, the checkpoint module's crash-safety idiom — a reader
-never sees a torn document).  ``repro serve`` runs a
+(tmp + fsync + rename, the checkpoint module's crash-safety idiom — a
+reader never sees a torn document).  ``repro serve`` runs a
 :class:`~repro.service.engine.JobEngine`, polls ``queue/``, claims
 documents by renaming them into ``claimed/`` (an atomic rename: two
-servers polling one spool never double-run a job), and writes each
+servers polling one spool never double-claim a job), and writes each
 job's :meth:`~repro.service.job.JobResult.summary` into ``results/``
 when it settles.  ``repro submit --wait`` simply polls ``results/``.
+
+Crash tolerance (the at-least-once contract)
+--------------------------------------------
+Every claim carries a ``*.lease`` sidecar naming its owner, rewritten
+(heartbeat) on every server poll.  A server that dies — SIGKILL
+included — stops heartbeating, and *any* server sweeping the spool
+moves claims whose lease is stale past ``lease_ttl`` back into
+``queue/`` (:func:`reclaim_stale`), so the job is re-run elsewhere.
+Execution is therefore **at-least-once**; results stay effectively
+exactly-once because result writes are atomic and a server that finds
+a result already settled by someone else skips its own write (the
+physics is deterministic, so both copies would be bitwise identical
+anyway).  The same server restarted with ``--recover`` instead
+*adopts* its old claims (re-leases them under its new identity) and
+resumes the jobs from their journal + checkpoints — see
+:meth:`~repro.service.engine.JobEngine.recover`.
 
 Job documents are ``{"job": <PICJob.as_dict()>, "id": ...}``; result
 documents are the summary dict plus the full diagnostic series.
@@ -33,11 +52,25 @@ import uuid
 
 from repro.service.engine import JobEngine
 from repro.service.job import PICJob
+from repro.service.journal import read_json_tolerant, write_json_atomic
 
 __all__ = ["submit_to_spool", "read_result", "wait_for_result",
-           "serve_spool", "spool_dirs"]
+           "serve_spool", "spool_dirs", "reclaim_stale", "gc_spool",
+           "parse_age"]
 
 logger = logging.getLogger("repro.service")
+
+#: test hook (see :func:`repro.resilience.faultinject.lease_clock_skew`):
+#: seconds added to this process's view of the lease clock
+_CLOCK_SKEW = 0.0
+
+#: default seconds without a heartbeat before a claim is reclaimable
+DEFAULT_LEASE_TTL = 30.0
+
+
+def _lease_now() -> float:
+    """The lease clock: wall time plus the (test-only) skew."""
+    return time.time() + _CLOCK_SKEW
 
 
 def spool_dirs(spool) -> tuple[pathlib.Path, pathlib.Path, pathlib.Path]:
@@ -50,9 +83,15 @@ def spool_dirs(spool) -> tuple[pathlib.Path, pathlib.Path, pathlib.Path]:
 
 
 def _write_json_atomic(path: pathlib.Path, payload: dict) -> None:
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=2), encoding="utf-8")
-    os.replace(tmp, path)
+    write_json_atomic(path, payload)
+
+
+def default_owner() -> str:
+    """A unique identity for one serving process (host-pid-nonce)."""
+    import socket
+
+    return (f"{socket.gethostname()}-{os.getpid()}-"
+            f"{uuid.uuid4().hex[:6]}")
 
 
 def submit_to_spool(spool, job: PICJob, *, job_id: str | None = None) -> str:
@@ -66,12 +105,14 @@ def submit_to_spool(spool, job: PICJob, *, job_id: str | None = None) -> str:
 
 
 def read_result(spool, job_id: str) -> dict | None:
-    """The result document for ``job_id``, or ``None`` if not settled."""
+    """The result document for ``job_id``, or ``None`` if not settled.
+
+    Torn or unreadable documents also return ``None`` — only possible
+    for writers bypassing the atomic idiom, and indistinguishable from
+    "not settled yet" to a poller, which is the safe interpretation.
+    """
     _, _, results = spool_dirs(spool)
-    path = results / f"{job_id}.json"
-    if not path.exists():
-        return None
-    return json.loads(path.read_text(encoding="utf-8"))
+    return read_json_tolerant(results / f"{job_id}.json")
 
 
 def wait_for_result(spool, job_id: str, *, timeout: float | None = None,
@@ -88,18 +129,93 @@ def wait_for_result(spool, job_id: str, *, timeout: float | None = None,
         time.sleep(poll)
 
 
+# ----------------------------------------------------------------------
+# Leases
+# ----------------------------------------------------------------------
+def _lease_path(claim: pathlib.Path) -> pathlib.Path:
+    return claim.with_name(claim.name + ".lease")
+
+
+def _write_lease(claim: pathlib.Path, owner: str) -> None:
+    """(Re)assert ownership of a claim — the per-poll heartbeat."""
+    write_json_atomic(_lease_path(claim), {
+        "owner": owner, "ts": _lease_now(), "pid": os.getpid(),
+    })
+
+
+def _lease_age(claim: pathlib.Path) -> tuple[float, str | None]:
+    """Seconds since the claim's last heartbeat, and its owner.
+
+    Falls back to the claim file's mtime when the lease sidecar is
+    missing or unreadable (a pre-lease claim, or a server killed
+    between the rename and the lease write) — the claim is still
+    reclaimable, just on the coarser clock.
+    """
+    lease = read_json_tolerant(_lease_path(claim))
+    if lease is not None and isinstance(lease.get("ts"), (int, float)):
+        return _lease_now() - float(lease["ts"]), lease.get("owner")
+    try:
+        return _lease_now() - claim.stat().st_mtime, None
+    except OSError:
+        return 0.0, None  # claim vanished mid-scan: nothing to reclaim
+
+
+def _claim_docs(claimed: pathlib.Path) -> list[pathlib.Path]:
+    """Claimed job documents (excluding forensics sidecars)."""
+    return sorted(p for p in claimed.glob("*.json")
+                  if not p.name.endswith(".rejected.json"))
+
+
+def reclaim_stale(queue: pathlib.Path, claimed: pathlib.Path, *,
+                  owner: str, lease_ttl: float = DEFAULT_LEASE_TTL,
+                  ) -> list[str]:
+    """Move claims with stale leases back into ``queue/``.
+
+    A claim is stale when its lease heartbeat (or, lacking a lease,
+    the claim file's mtime) is older than ``lease_ttl`` seconds and it
+    is not owned by ``owner``.  Returns the reclaimed document names.
+    The move is the same atomic rename as claiming, so two sweepers
+    racing on one stale claim cannot duplicate it.
+    """
+    reclaimed = []
+    for claim in _claim_docs(claimed):
+        age, lease_owner = _lease_age(claim)
+        if lease_owner == owner or age <= lease_ttl:
+            continue
+        try:
+            os.replace(claim, queue / claim.name)
+        except OSError:
+            continue  # another sweeper won the race
+        _lease_path(claim).unlink(missing_ok=True)
+        reclaimed.append(claim.name)
+    return reclaimed
+
+
+# ----------------------------------------------------------------------
+# Claiming
+# ----------------------------------------------------------------------
 def _claim(queue: pathlib.Path, claimed: pathlib.Path,
-           limit: int | None = None) -> list[dict]:
+           limit: int | None = None, *, owner: str | None = None,
+           ) -> list[dict]:
     """Atomically claim up to ``limit`` queued documents (all when
     ``None``); returns the parsed docs.
 
-    Unparsable documents are renamed to ``*.rejected`` in place (with
-    a log line) rather than crashing the server or being retried
-    forever.  Documents beyond ``limit`` are left in ``queue/`` for
-    another server.
+    Each parsed doc carries its job id under ``"id"``, the parsed job
+    under ``"job"`` and the claimed file's path under ``"path"`` (the
+    file name is the submitter's choice and may differ from the inner
+    id — settling must unlink the actual file).  When ``owner`` is
+    set, a lease sidecar is written for every successful claim.
+
+    Unparsable documents are renamed to ``*.rejected`` in place with a
+    ``*.rejected.json`` forensics sidecar (exception text + timestamp)
+    rather than crashing the server or being retried forever.
+    Documents beyond ``limit`` are left in ``queue/`` for another
+    server.
     """
     docs = []
     for path in sorted(queue.glob("*.json")):
+        if path.name.endswith(".rejected.json"):
+            continue  # a forensics sidecar someone moved; not a job
         if limit is not None and len(docs) >= limit:
             break
         target = claimed / path.name
@@ -116,15 +232,85 @@ def _claim(queue: pathlib.Path, claimed: pathlib.Path,
                 ValueError) as exc:
             logger.warning("rejecting unparsable job document %s: %s",
                            target.name, exc)
-            os.replace(target, target.with_suffix(".rejected"))
+            rejected = target.with_suffix(".rejected")
+            os.replace(target, rejected)
+            write_json_atomic(rejected.with_name(rejected.name + ".json"), {
+                "name": target.name,
+                "error": str(exc),
+                "error_type": type(exc).__name__,
+                "ts": time.time(),
+            })
             continue
+        doc["path"] = target
+        if owner is not None:
+            _write_lease(target, owner)
         docs.append(doc)
     return docs
 
 
+# ----------------------------------------------------------------------
+# Retention
+# ----------------------------------------------------------------------
+def parse_age(text: str) -> float:
+    """``"90"``/``"30s"``/``"5m"``/``"2h"``/``"1d"`` → seconds."""
+    text = str(text).strip().lower()
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    factor = 1.0
+    if text and text[-1] in units:
+        factor = units[text[-1]]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(f"unparsable age {text!r} "
+                         "(want e.g. 90, 30s, 5m, 2h, 1d)") from None
+    if value < 0:
+        raise ValueError("age must be >= 0")
+    return value * factor
+
+
+def gc_spool(spool, older_than_s: float, *, now: float | None = None) -> int:
+    """Remove settled/quarantined spool litter older than a cutoff.
+
+    Collects result documents in ``results/`` and rejected documents
+    (plus their forensics sidecars) in ``claimed/`` whose mtime is
+    more than ``older_than_s`` seconds before ``now``.  Queued and
+    claimed *job* documents — in-flight work — are never touched, so
+    gc can run at any cadence without losing jobs.  Returns the number
+    of files removed.
+    """
+    _, claimed, results = spool_dirs(spool)
+    if now is None:
+        now = time.time()
+    cutoff = now - float(older_than_s)
+    removed = 0
+    candidates = list(results.glob("*.json"))
+    candidates += [p for p in claimed.iterdir()
+                   if p.name.endswith((".rejected", ".rejected.json"))]
+    for path in candidates:
+        try:
+            if path.stat().st_mtime >= cutoff:
+                continue
+            path.unlink()
+        except OSError:
+            continue  # raced with a concurrent collector or settle
+        removed += 1
+    if removed:
+        logger.info("spool gc removed %d document(s) older than %.0fs",
+                    removed, older_than_s)
+    return removed
+
+
+# ----------------------------------------------------------------------
+# Serving
+# ----------------------------------------------------------------------
 def serve_spool(spool, *, max_workers: int = 2, poll: float = 0.2,
                 drain: bool = False, max_jobs: int | None = None,
-                data_dir=None, on_settle=None) -> int:
+                data_dir=None, on_settle=None,
+                lease_ttl: float = DEFAULT_LEASE_TTL,
+                owner: str | None = None, recover: bool = False,
+                gc_older_than: float | None = None, gc_every: int = 50,
+                stop=None) -> int:
     """Run a :class:`JobEngine` against a spool directory.
 
     Claims queued job documents, submits them, and writes a result
@@ -133,53 +319,127 @@ def serve_spool(spool, *, max_workers: int = 2, poll: float = 0.2,
     ``drain``:
         Exit once the queue is empty and every claimed job is
         terminal — the batch-campaign mode (``repro serve --drain``);
-        without it the server polls forever (Ctrl-C to stop; running
-        jobs are parked by the engine's shutdown).
+        without it the server polls forever (SIGTERM/Ctrl-C to stop;
+        running jobs are parked by the engine's shutdown).
     ``max_jobs``:
         Stop claiming after this many jobs and exit once they settle.
     ``on_settle``:
         Optional ``callback(job_id, result_dict)`` after each result
         document is written (the CLI prints a line per job).
+    ``lease_ttl`` / ``owner``:
+        Claim-lease parameters: every claim this server holds is
+        heartbeat every poll under ``owner`` (default: a unique
+        host-pid-nonce string), and claims owned by *other* servers
+        whose lease is stale past ``lease_ttl`` seconds are swept back
+        into ``queue/`` each poll (see :func:`reclaim_stale`).
+    ``recover``:
+        Rebuild the engine from ``data_dir``'s journal
+        (:meth:`JobEngine.recover`) instead of starting empty, and
+        adopt the previous server's claims: interrupted jobs resume
+        from their checkpoints rather than being re-queued by a lease
+        sweep.  Requires a persistent ``data_dir``; ignored when the
+        journal does not exist yet.
+    ``gc_older_than`` / ``gc_every``:
+        When set, run :func:`gc_spool` with this age (seconds) every
+        ``gc_every`` polls.
+    ``stop``:
+        Optional zero-argument callable polled once per loop; when it
+        returns true the server stops claiming, parks running jobs
+        (engine close) and returns — the graceful-drain hook the CLI
+        wires to SIGTERM/SIGINT.
     """
     queue, claimed, results = spool_dirs(spool)
+    if owner is None:
+        owner = default_owner()
     settled: set[str] = set()
     submitted: dict[str, str] = {}  # engine job id -> spool id
+    claim_paths: dict[str, pathlib.Path] = {}  # spool id -> claimed doc
     claimed_count = 0
-    with JobEngine(max_workers=max_workers, data_dir=data_dir) as engine:
+    journal_path = (None if data_dir is None
+                    else pathlib.Path(data_dir) / "journal.jsonl")
+    if recover and journal_path is not None and journal_path.exists():
+        engine = JobEngine.recover(data_dir, max_workers=max_workers)
+    else:
+        engine = JobEngine(max_workers=max_workers, data_dir=data_dir)
+    with engine:
+        # adopt recovered jobs: they are ours again, so re-lease their
+        # claims under our identity *before* the first stale sweep —
+        # otherwise a short TTL could bounce our own claims through
+        # queue/ and into a duplicate submit
+        for info in engine.list_jobs():
+            submitted[info.job_id] = info.job_id
+            claimed_count += 1
+            claim = claimed / f"{info.job_id}.json"
+            claim_paths[info.job_id] = claim
+            if claim.exists():
+                _write_lease(claim, owner)
+            logger.info("adopted recovered job %s (%s)", info.job_id,
+                        info.state.value)
+        polls = 0
         try:
             while True:
+                if stop is not None and stop():
+                    logger.info("stop requested; parking running jobs")
+                    return len(settled)
+                for name in reclaim_stale(queue, claimed, owner=owner,
+                                          lease_ttl=lease_ttl):
+                    logger.warning("reclaimed stale claim %s into queue",
+                                   name)
                 if max_jobs is None or claimed_count < max_jobs:
                     limit = (None if max_jobs is None
                              else max_jobs - claimed_count)
-                    for doc in _claim(queue, claimed, limit):
+                    for doc in _claim(queue, claimed, limit, owner=owner):
                         spool_id = doc["id"]
                         job = doc["job"]
                         try:
                             engine_id = engine.submit(job, job_id=spool_id)
                         except ValueError as exc:  # duplicate id resubmitted
-                            logger.warning("skipping %s: %s", spool_id, exc)
+                            logger.warning(
+                                "settling duplicate submission %s: %s",
+                                spool_id, exc)
+                            _settle_duplicate(results, spool_id,
+                                              doc["path"], exc)
                             continue
                         submitted[engine_id] = spool_id
+                        claim_paths[spool_id] = doc["path"]
                         claimed_count += 1
                         logger.info("claimed %s: %s", spool_id,
                                     job.describe())
                 for engine_id, spool_id in list(submitted.items()):
                     if spool_id in settled:
                         continue
+                    claim = claim_paths.get(
+                        spool_id, claimed / f"{spool_id}.json")
                     info = engine.status(engine_id)
                     if not info.state.terminal:
+                        if claim.exists():  # heartbeat our live claims
+                            _write_lease(claim, owner)
                         continue
                     result = engine.result(engine_id)
                     doc = result.summary()
                     doc["id"] = spool_id
-                    _write_json_atomic(results / f"{spool_id}.json", doc)
+                    existing = read_result(spool, spool_id)
+                    if existing is None or existing.get("state") == "duplicate":
+                        _write_json_atomic(results / f"{spool_id}.json", doc)
+                    else:
+                        # another server settled it first (at-least-once
+                        # re-run); determinism makes the docs identical,
+                        # so skipping the write is the idempotent choice
+                        doc = existing
                     settled.add(spool_id)
-                    (claimed / f"{spool_id}.json").unlink(missing_ok=True)
+                    _lease_path(claim).unlink(missing_ok=True)
+                    claim.unlink(missing_ok=True)
                     if on_settle is not None:
                         on_settle(spool_id, doc)
+                polls += 1
+                if (gc_older_than is not None and gc_every > 0
+                        and polls % gc_every == 0):
+                    gc_spool(spool, gc_older_than)
                 done_claiming = (max_jobs is not None
                                  and claimed_count >= max_jobs)
-                queue_empty = not any(queue.glob("*.json"))
+                queue_empty = not any(
+                    p for p in queue.glob("*.json")
+                    if not p.name.endswith(".rejected.json"))
                 all_settled = len(settled) == len(submitted)
                 if (drain or done_claiming) and all_settled and (
                         queue_empty or done_claiming):
@@ -188,3 +448,23 @@ def serve_spool(spool, *, max_workers: int = 2, poll: float = 0.2,
         except KeyboardInterrupt:  # pragma: no cover - interactive stop
             logger.info("interrupted; parking running jobs")
             return len(settled)
+
+
+def _settle_duplicate(results: pathlib.Path, spool_id: str,
+                      claim: pathlib.Path, exc: Exception) -> None:
+    """Settle a duplicate-id submission instead of stranding its claim.
+
+    The claim document would otherwise sit in ``claimed/`` forever (no
+    engine job will ever settle it).  A ``duplicate`` result document
+    is written only when no result exists yet — the canonical run's
+    result (present or future) always wins.
+    """
+    if read_json_tolerant(results / f"{spool_id}.json") is None:
+        _write_json_atomic(results / f"{spool_id}.json", {
+            "id": spool_id,
+            "job_id": spool_id,
+            "state": "duplicate",
+            "error": str(exc),
+        })
+    _lease_path(claim).unlink(missing_ok=True)
+    claim.unlink(missing_ok=True)

@@ -128,6 +128,56 @@ class TestServiceCLI:
         assert rc == 2
         assert "error" in capsys.readouterr().err
 
+    def test_parser_accepts_durability_flags(self):
+        p = build_parser()
+        a = p.parse_args(["serve", "--spool", "/tmp/x", "--recover",
+                          "--data-dir", "/tmp/d", "--lease-ttl", "5",
+                          "--owner", "me", "--gc-older-than", "2h",
+                          "--gc-every", "10"])
+        assert a.recover and a.lease_ttl == 5.0 and a.owner == "me"
+        assert a.gc_older_than == "2h" and a.gc_every == 10
+        b = p.parse_args(["submit", "--spool", "/tmp/x",
+                          "--deadline", "30", "--retry-backoff", "0.5",
+                          "--max-retries", "5"])
+        assert b.deadline == 30.0 and b.retry_backoff == 0.5
+        assert b.max_retries == 5
+        c = p.parse_args(["spool", "gc", "--spool", "/tmp/x",
+                          "--older-than", "1d"])
+        assert c.command == "spool" and c.spool_command == "gc"
+        assert c.older_than == "1d"
+
+    def test_serve_recover_without_data_dir_is_exit_2(self, tmp_path,
+                                                      capsys):
+        rc = main(["serve", "--spool", str(tmp_path / "s"), "--recover",
+                   "--drain"])
+        assert rc == 2
+        assert "data-dir" in capsys.readouterr().err
+
+    def test_spool_gc_end_to_end(self, tmp_path, capsys):
+        import os
+        import time as _time
+
+        from repro.service import write_json_atomic
+        from repro.service.spool import spool_dirs
+
+        _, _, results = spool_dirs(tmp_path)
+        write_json_atomic(results / "old.json", {"state": "succeeded"})
+        stamp = _time.time() - 7200
+        os.utime(results / "old.json", (stamp, stamp))
+        write_json_atomic(results / "new.json", {"state": "succeeded"})
+        rc = main(["spool", "gc", "--spool", str(tmp_path),
+                   "--older-than", "1h"])
+        assert rc == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert not (results / "old.json").exists()
+        assert (results / "new.json").exists()
+
+    def test_spool_gc_bad_age_is_exit_2(self, tmp_path, capsys):
+        rc = main(["spool", "gc", "--spool", str(tmp_path),
+                   "--older-than", "whenever"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
 
 # ----------------------------------------------------------------------
 # check_links: anchor-fragment validation

@@ -2,14 +2,18 @@
 """Chaos gate: run the fault-injection suite and assert nothing leaked.
 
 Runs ``tests/test_robustness.py`` (guards, supervised rollback,
-backend degradation, torn checkpoints, close-on-exception) under a
-fixed seed and a private pytest basetemp, then fails if the run left
-anything behind that a clean recovery must not leave:
+backend degradation, torn checkpoints, close-on-exception) and
+``tests/test_service_recovery.py`` (journal replay, engine recovery,
+lease reclaim, deadlines, drain) under a fixed seed and a private
+pytest basetemp, then fails if the run left anything behind that a
+clean recovery must not leave:
 
 * shared-memory segments in ``/dev/shm`` that did not exist before
   (a leaked ``numpy-mp`` arena);
 * ``*.tmp`` checkpoint siblings anywhere under the basetemp (a
-  non-atomic or un-cleaned checkpoint write).
+  non-atomic or un-cleaned checkpoint write);
+* orphaned ``*.lease`` sidecars — a lease whose claim document is
+  gone — anywhere under the basetemp (a settle that forgot its lease).
 
 Exit status 0 only when the suite passes *and* both leak scans come
 back empty.  ``make chaos`` runs this; ``make check`` includes it.
@@ -44,7 +48,8 @@ def main() -> int:
     try:
         proc = subprocess.run(
             [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
-             "--basetemp", str(basetemp), "tests/test_robustness.py"],
+             "--basetemp", str(basetemp), "tests/test_robustness.py",
+             "tests/test_service_recovery.py"],
             cwd=REPO, env=env,
         )
         failures = []
@@ -57,6 +62,14 @@ def main() -> int:
         if tmp_litter:
             failures.append(
                 f"leftover checkpoint temp files: {', '.join(tmp_litter)}"
+            )
+        lease_litter = sorted(
+            str(p.relative_to(basetemp)) for p in basetemp.rglob("*.lease")
+            if not p.with_name(p.name[:-len(".lease")]).exists()
+        )
+        if lease_litter:
+            failures.append(
+                f"orphaned lease sidecars: {', '.join(lease_litter)}"
             )
         leaked = sorted(shm_entries() - before)
         if leaked:
