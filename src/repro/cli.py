@@ -6,6 +6,8 @@ Commands:
 * ``orderings`` — print an ordering's index map for a small grid;
 * ``locality`` — compare unit-move locality of all orderings;
 * ``tune-sort`` — run the sort-period autotuner on the cost model;
+* ``calibrate`` — fit the loop cost model's stall parameters to a
+  measured ``--timings-json`` record and write the calibration JSON;
 * ``misses`` — run a scaled cache-miss experiment (Table II style);
 * ``verify`` — differential cross-backend equivalence matrix, physics
   acceptance oracles, and the golden-run regression check;
@@ -36,18 +38,22 @@ import numpy as np
 
 __all__ = ["main", "build_parser"]
 
-_CASES = ("landau", "nonlinear-landau", "two-stream", "bump-on-tail", "uniform")
+_CASES = ("landau", "nonlinear-landau", "two-stream", "bump-on-tail",
+          "gaussian-bump", "uniform")
 _ORDERINGS = ("row-major", "column-major", "l4d", "morton", "hilbert")
 
 
 def _make_case(name: str, alpha: float | None):
     from repro.particles import (
         BumpOnTail,
+        GaussianBump,
         LandauDamping,
         TwoStream,
         UniformMaxwellian,
     )
 
+    if name == "gaussian-bump":
+        return GaussianBump()
     if name == "landau":
         return LandauDamping(alpha=alpha if alpha is not None else 0.05)
     if name == "nonlinear-landau":
@@ -107,6 +113,22 @@ def build_parser() -> argparse.ArgumentParser:
                      help="simulated-thread count of the sharded per-block "
                      "deposit kernel (structural knob; bitwise-identical "
                      "at any value)")
+    run.add_argument("--partition",
+                     choices=("flat", "curve", "curve-balanced"),
+                     default="flat",
+                     help="cell-ownership cut of the parallel deposit: "
+                     "'flat' equal cells, 'curve' equal cells snapped to "
+                     "power-of-two curve-block boundaries, 'curve-balanced' "
+                     "histogram-weighted ~equal particles per worker "
+                     "(bitwise-identical physics in every mode; see "
+                     "docs/parallelism.md)")
+    run.add_argument("--repartition-every", type=int, default=10, metavar="K",
+                     help="curve-balanced: deposit calls between repartition "
+                     "checks (0 freezes the initial cut; default: 10)")
+    run.add_argument("--rebalance-threshold", type=float, default=1.5,
+                     metavar="R",
+                     help="curve-balanced: max/mean load ratio above which "
+                     "a due repartition check moves the cuts (default: 1.5)")
     run.add_argument("--workers", type=int, default=None, metavar="N",
                      help="worker-process count for --backend numpy-mp "
                      "(default: cpu count)")
@@ -150,6 +172,23 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--particles", type=int, default=50_000_000)
     tune.add_argument("--growth", type=float, default=0.08,
                       help="miss growth per unsorted iteration")
+
+    cal = sub.add_parser(
+        "calibrate",
+        help="fit cost-model stall parameters to a measured timings record",
+    )
+    cal.add_argument("--timings", required=True, metavar="PATH",
+                     help="a --timings-json file from 'repro run' (or any "
+                     "StepTimings record) to calibrate against")
+    cal.add_argument("--machine", choices=("haswell", "sandybridge"),
+                     default="haswell",
+                     help="machine preset whose cost model is calibrated")
+    cal.add_argument("--output", type=str, default=None, metavar="PATH",
+                     help="write the calibration document here "
+                     "(default: print to stdout)")
+    cal.add_argument("--grid-points", type=int, default=101, metavar="N",
+                     help="stall_overlap grid resolution over [0, 1] "
+                     "(default: 101)")
 
     mi = sub.add_parser("misses", help="scaled cache-miss experiment (Table II)")
     mi.add_argument("--orderings", nargs="+", choices=_ORDERINGS,
@@ -310,6 +349,9 @@ def _cmd_run(args) -> int:
         loop_mode=args.loop_mode,
         block_size=args.block_size,
         deposit_threads=args.deposit_threads,
+        partition=args.partition,
+        repartition_every=args.repartition_every,
+        rebalance_threshold=args.rebalance_threshold,
     )
     if args.workers is not None:
         cfg = cfg.with_(workers=args.workers)
@@ -431,6 +473,29 @@ def _cmd_tune_sort(args) -> int:
         ns = res.costs[period] / args.particles * 1e9
         marker = "  <- best" if period == res.best_period else ""
         print(f"  sort every {period:4d}: {ns:7.2f} ns/particle/iter{marker}")
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    import json
+    import pathlib
+
+    from repro.perf.datamove import fit_stall_overlap
+    from repro.perf.machine import MachineSpec
+
+    record = json.loads(pathlib.Path(args.timings).read_text())
+    machine = getattr(MachineSpec, args.machine)()
+    cal = fit_stall_overlap(record, machine, grid_points=args.grid_points)
+    text = json.dumps(cal, indent=2, sort_keys=True)
+    if args.output:
+        pathlib.Path(args.output).write_text(text + "\n")
+        print(f"calibration : {args.output}")
+    else:
+        print(text)
+    print(f"stall_overlap={cal['stall_overlap']:.3f} "
+          f"freq_scale={cal['freq_scale']:.4f} "
+          f"residual_rms={cal['residual_rms_s']:.3e}s "
+          f"over {cal['particle_steps']} particle-steps on {cal['machine']}")
     return 0
 
 
@@ -689,6 +754,7 @@ def main(argv=None) -> int:
         "orderings": _cmd_orderings,
         "locality": _cmd_locality,
         "tune-sort": _cmd_tune_sort,
+        "calibrate": _cmd_calibrate,
         "misses": _cmd_misses,
         "verify": _cmd_verify,
         "serve": _cmd_serve,

@@ -228,6 +228,7 @@ class KernelBackend(abc.ABC):
         block_size,
         thresholds=(4.0, 64.0),
         nthreads=1,
+        partition="flat",
     ) -> dict:
         """Density-aware tiled deposit (per-block kernel dispatch).
 
@@ -235,7 +236,9 @@ class KernelBackend(abc.ABC):
         deposits each block with the kernel its local density warrants
         (serial / sharded cell-ownership / parallel private-copies);
         must be bitwise equal to :meth:`accumulate_redundant` for any
-        block size, thread count and thresholds.  Returns the executed
+        block size, thread count, shard ``partition`` mode
+        (:mod:`repro.parallel.partition`) and thresholds.  Returns the
+        executed
         per-variant block counts.  Only callable on backends
         advertising the ``"tiled_deposit"`` capability; the default
         implementation drives this backend's own kernels through the
@@ -251,7 +254,7 @@ class KernelBackend(abc.ABC):
         return accumulate_redundant_tiled(
             self, rho_1d, icell, dx, dy, charge,
             block_size=block_size, thresholds=thresholds, nthreads=nthreads,
-            perm_fn=self.counting_sort_permutation,
+            perm_fn=self.counting_sort_permutation, partition=partition,
         )
 
     def counting_sort_permutation(self, keys, ncells):

@@ -16,6 +16,7 @@ _PARTICLE_LAYOUTS = ("soa", "aos")
 _LOOP_MODES = ("fused", "split", "auto")
 _POSITION_UPDATES = ("branch", "modulo", "bitwise")
 _SORT_VARIANTS = ("out-of-place", "in-place")
+_PARTITION_MODES = ("flat", "curve", "curve-balanced")
 
 
 @dataclass(frozen=True)
@@ -103,6 +104,24 @@ class OptimizationConfig:
         (contiguous cell sub-ranges per thread; §V-B cell ownership).
         Purely a structural knob in-process — any value is
         bitwise-identical.
+    partition:
+        How cell ownership is cut into contiguous curve segments for
+        the parallel deposit (``numpy-mp`` worker ranges and the tiled
+        deposit's shard cuts): ``"flat"`` equal cells (default),
+        ``"curve"`` equal cells snapped to power-of-two curve-block
+        boundaries, ``"curve-balanced"`` histogram-weighted ~equal
+        particles per worker (:mod:`repro.parallel.partition`).
+        Bitwise-identical physics in every mode — the cuts move work
+        between workers, never what is summed into a ``rho`` row.
+    repartition_every:
+        ``curve-balanced`` only: deposit calls between repartition
+        checks of the ``numpy-mp`` engine (0 freezes the initial
+        partition).  Each check recomputes the per-cell histogram and
+        moves the cuts only past the hysteresis threshold below.
+    rebalance_threshold:
+        ``curve-balanced`` only: max/mean particle-load ratio above
+        which a due repartition check actually moves the cuts
+        (>= 1.0; higher = more hysteresis, less churn).
     """
 
     field_layout: str = "redundant"
@@ -122,6 +141,9 @@ class OptimizationConfig:
     block_size: int = 0
     deposit_thresholds: tuple = (4.0, 64.0)
     deposit_threads: int = 1
+    partition: str = "flat"
+    repartition_every: int = 10
+    rebalance_threshold: float = 1.5
 
     def __post_init__(self):
         if self.field_layout not in _FIELD_LAYOUTS:
@@ -160,6 +182,12 @@ class OptimizationConfig:
             )
         if self.deposit_threads < 1:
             raise ValueError("deposit_threads must be >= 1")
+        if self.partition not in _PARTITION_MODES:
+            raise ValueError(f"partition must be one of {_PARTITION_MODES}")
+        if self.repartition_every < 0:
+            raise ValueError("repartition_every must be >= 0")
+        if self.rebalance_threshold < 1.0:
+            raise ValueError("rebalance_threshold must be >= 1.0")
         # deferred import: backends depends on kernels, not on config
         from repro.core.backends import AUTO, known_backend_names
 

@@ -104,19 +104,31 @@ def choose_deposit_variant(
     return "shard"
 
 
-def _deposit_shards(backend, rho_1d, icell, dx, dy, charge, lo, hi, nthreads):
+def _deposit_shards(
+    backend, rho_1d, icell, dx, dy, charge, lo, hi, nthreads,
+    partition="flat",
+):
     """Deposit one block's particles shard-by-shard (cell ownership).
 
     Each simulated thread owns a contiguous sub-range of the block's
-    cells ``[lo, hi)`` and deposits exactly the particles whose cell
-    falls in it.  ``np.nonzero`` preserves particle order inside a
-    shard, and shards touch disjoint ``rho_1d`` rows, so the result is
-    bitwise-identical to the serial deposit of the block at any
-    ``nthreads`` — races are impossible by construction.
+    cells ``[lo, hi)`` — cut by :func:`repro.parallel.partition.
+    partition_cells` in the requested ``partition`` mode (flat equal
+    cells, curve-aligned, or histogram-balanced ~equal particles) —
+    and deposits exactly the particles whose cell falls in it.
+    ``np.nonzero`` preserves particle order inside a shard, and shards
+    touch disjoint ``rho_1d`` rows, so the result is bitwise-identical
+    to the serial deposit of the block at any ``nthreads`` and for
+    every partition mode — races are impossible by construction.
     """
-    bounds = np.linspace(lo, hi, nthreads + 1).astype(np.int64)
-    for t in range(nthreads):
-        c_lo, c_hi = int(bounds[t]), int(bounds[t + 1])
+    # deferred: repro.parallel eagerly imports the backends package
+    from repro.parallel.partition import partition_cells
+
+    ncells = hi - lo
+    hist = None
+    if partition == "curve-balanced":
+        hist = np.bincount(icell - lo, minlength=ncells)
+    for sl in partition_cells(ncells, nthreads, mode=partition, histogram=hist):
+        c_lo, c_hi = lo + sl.start, lo + sl.stop
         if c_hi <= c_lo:
             continue
         mine = np.nonzero((icell >= c_lo) & (icell < c_hi))[0]
@@ -139,13 +151,16 @@ def accumulate_redundant_tiled(
     thresholds=DEFAULT_DEPOSIT_THRESHOLDS,
     nthreads=1,
     perm_fn=None,
+    partition="flat",
 ) -> dict:
     """Density-aware tiled deposit onto the redundant ``rho_1d``.
 
     Bins particles into blocks of ``block_size`` curve cells, then
     deposits each block with the kernel
     :func:`choose_deposit_variant` picks for its density — serial,
-    sharded cell-ownership over ``nthreads`` simulated threads, or the
+    sharded cell-ownership over ``nthreads`` simulated threads (cut in
+    the requested ``partition`` mode, see
+    :func:`repro.parallel.partition.partition_cells`), or the
     backend's parallel private-copies kernel.  Returns the executed
     per-variant block counts, e.g. ``{"serial": 12, "shard": 3}``
     (what the instrumentation ledger records); on backends without the
@@ -159,8 +174,9 @@ def accumulate_redundant_tiled(
 
     Bitwise-equivalence promise: the result equals one whole-grid
     serial ``backend.accumulate_redundant`` bit for bit, for every
-    ``block_size``, ``nthreads``, threshold pair and per-block variant
-    mix (see the module docstring for the argument).  Thread-safety:
+    ``block_size``, ``nthreads``, ``partition`` mode, threshold pair
+    and per-block variant mix (see the module docstring for the
+    argument).  Thread-safety:
     mutates only ``rho_1d``; shards and blocks write disjoint rows, so
     the scheme is race-free and concurrent calls on disjoint outputs
     are safe.
@@ -219,7 +235,7 @@ def accumulate_redundant_tiled(
         elif v == "shard":
             _deposit_shards(
                 backend, rho_1d, sub_icell, sub_dx, sub_dy, charge,
-                lo, hi, nthreads,
+                lo, hi, nthreads, partition,
             )
         else:  # parallel
             backend.accumulate_redundant_parallel(

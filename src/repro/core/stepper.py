@@ -327,6 +327,7 @@ class PICStepper:
                     block_size=cfg.block_size,
                     thresholds=cfg.deposit_thresholds,
                     nthreads=cfg.deposit_threads,
+                    partition=cfg.partition,
                 )
                 self.instrumentation.record_deposit_variants(counts)
                 return

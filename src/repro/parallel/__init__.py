@@ -22,6 +22,9 @@ Threads split the particle loops with a per-thread charge reduction
   ``multiprocessing.shared_memory``, the three particle loops fanned
   out over a persistent worker-process pool, registered as the
   ``"numpy-mp"`` kernel backend (see ``docs/parallelism.md``).
+* :mod:`~repro.parallel.partition` — curve-aware, load-balanced cell
+  partitioning for the parallel deposit (flat / curve / curve-balanced
+  cuts + the hysteresis-guarded :class:`PartitionPlanner`).
 """
 
 from repro.parallel.mpi import CollectiveCostModel, SimComm, SimMPI
@@ -30,6 +33,11 @@ from repro.parallel.openmp import (
     parallel_accumulate_redundant,
     parallel_accumulate_standard,
     partition_range,
+)
+from repro.parallel.partition import (
+    PartitionPlanner,
+    balance_ratio,
+    partition_cells,
 )
 from repro.parallel.domain_decomp import (
     DomainDecompositionModel,
@@ -60,6 +68,9 @@ __all__ = [
     "SimComm",
     "CollectiveCostModel",
     "partition_range",
+    "partition_cells",
+    "balance_ratio",
+    "PartitionPlanner",
     "parallel_accumulate_redundant",
     "parallel_accumulate_standard",
     "ThreadScalingModel",

@@ -43,6 +43,7 @@ from repro.core import kernels as _k
 from repro.core.backends import NumpyBackend, register_backend
 from repro.curves.base import get_ordering
 from repro.parallel.openmp import partition_range
+from repro.parallel.partition import PartitionPlanner
 from repro.parallel.shm import (
     SharedArena,
     SharedGrid,
@@ -454,9 +455,16 @@ class ShmEngine:
 
     Construction relocates the stepper's particle storage and redundant
     field arrays into shared memory (the stepper keeps using them
-    through the same attributes) and fixes both partitions for the
-    engine's lifetime: particle ranges for gather/kick/push, cell
-    ranges + private slabs for the deposit.
+    through the same attributes) and sets up both partitions: particle
+    ranges for gather/kick/push (fixed for the engine's lifetime), and
+    cell ranges + private slabs for the deposit — cut by the
+    :class:`~repro.parallel.partition.PartitionPlanner` according to
+    ``OptimizationConfig.partition`` and, in ``"curve-balanced"``
+    mode, re-cut every ``repartition_every`` deposits when the
+    measured load imbalance warrants it.  Whenever the deposit path
+    computes a per-cell histogram anyway, a data-movement sample
+    (:func:`repro.perf.datamove.deposit_movement` + ``resource``
+    counters) is recorded into the step timings.
     """
 
     def __init__(self, stepper, nworkers=None, task_timeout=None):
@@ -473,7 +481,24 @@ class ShmEngine:
             stepper.particles, self.arena
         )
         stepper._sort_buffer = None
-        self.grid_shared = SharedGrid(stepper.fields, self.nworkers, self.arena)
+        nalloc = int(stepper.fields.rho_1d.shape[0])
+        self.planner = PartitionPlanner(
+            nalloc=nalloc,
+            nparts=self.nworkers,
+            mode=getattr(cfg, "partition", "flat"),
+            repartition_every=getattr(cfg, "repartition_every", 10),
+            rebalance_threshold=getattr(cfg, "rebalance_threshold", 1.5),
+        )
+        hist0 = None
+        if self.planner.mode == "curve-balanced":
+            hist0 = np.bincount(
+                np.asarray(stepper.particles.icell, dtype=np.int64),
+                minlength=nalloc,
+            )
+        self.grid_shared = SharedGrid(
+            stepper.fields, self.nworkers, self.arena,
+            cell_ranges=self.planner.initial(hist0),
+        )
         self.ordering = stepper.ordering
         self._ordering_spec = (
             cfg.ordering,
@@ -629,6 +654,21 @@ class ShmEngine:
 
     def accumulate_redundant(self, icell, dx, dy, charge):
         gs = self.grid_shared
+        # repartition + data-movement sampling share one histogram; a
+        # bincount is computed only on the steps that need it, and the
+        # cut never moves mid-deposit (ranges adopted before sharding)
+        every = self.planner.repartition_every
+        sample_due = every > 0 and (self.planner.calls + 1) % every == 0
+        hist = None
+        if sample_due or self.planner.wants_histogram():
+            hist = np.bincount(
+                np.asarray(icell, dtype=np.int64), minlength=gs.nalloc
+            )
+        new_ranges = self.planner.maybe_repartition(hist)
+        if new_ranges is not None:
+            gs.set_cell_ranges(new_ranges)
+        if hist is not None and sample_due:
+            self._record_datamove(hist)
         specs_base = self._spec(icell=icell, dx=dx, dy=dy)
         shards = []
         active = []
@@ -649,6 +689,25 @@ class ShmEngine:
                 msg["cell_lo"], msg["cell_hi"], float(charge),
             )
         gs.reduce_slabs(active)
+
+    def _record_datamove(self, hist) -> None:
+        """Sample the deposit's measured data movement into the timings."""
+        instr = self.instrumentation
+        if instr is None:
+            return
+        from repro.perf.datamove import deposit_movement, rusage_sample
+
+        stats = deposit_movement(
+            self.grid_shared.cell_ranges, hist,
+            mode=self.planner.mode, ordering=self.ordering,
+        )
+        stats["repartitions"] = len(self.planner.events)
+        if self.planner.events:
+            stats["last_repartition"] = dict(self.planner.events[-1])
+        ru = rusage_sample()
+        if ru is not None:
+            stats["rusage"] = ru
+        instr.record_datamove(stats)
 
     # ------------------------------------------------------------------
     def ping(self, timeout=5.0) -> list[bool]:

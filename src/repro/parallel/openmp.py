@@ -42,13 +42,21 @@ __all__ = [
 def partition_range(n: int, nthreads: int) -> list[slice]:
     """Static (OpenMP-default) partition of ``range(n)`` into ``nthreads``.
 
-    Chunk sizes differ by at most one; empty slices are legal for
-    ``nthreads > n``.
+    Chunk sizes differ by at most one (the first ``n % nthreads``
+    chunks take the extra element).  For ``nthreads > n`` the first
+    ``n`` slices hold one element each and the empty slices all
+    *trail* — they are never interleaved with non-empty ones, so a
+    worker id below the element count always has work.
     """
     if nthreads <= 0:
         raise ValueError("nthreads must be positive")
-    bounds = np.linspace(0, n, nthreads + 1).astype(np.int64)
-    return [slice(int(bounds[t]), int(bounds[t + 1])) for t in range(nthreads)]
+    base, rem = divmod(int(n), int(nthreads))
+    out, lo = [], 0
+    for t in range(nthreads):
+        hi = lo + base + (1 if t < rem else 0)
+        out.append(slice(lo, hi))
+        lo = hi
+    return out
 
 
 def parallel_accumulate_redundant(

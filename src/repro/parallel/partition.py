@@ -1,0 +1,251 @@
+"""Curve-aware, load-balanced cell partitioning for the parallel deposit.
+
+The §V-B deposit gives each worker a *contiguous range of cell rows* of
+the redundant ``rho_1d[ncell][4]`` array; since ``icell`` **is** the
+index along the active space-filling curve, every contiguous range is
+automatically a contiguous curve segment — a compact spatial region
+under Morton/Hilbert orderings.  What the fixed equal-cell split
+ignores is the particle *histogram*: once an instability clumps the
+plasma, one worker's cells can hold most of the particles while the
+others idle.  Walker & Skjellum (arXiv 2307.07828) make exactly this
+point for SFC-segment partitioning: the curve supplies locality, the
+weights must supply balance.
+
+Three partition modes (``OptimizationConfig.partition``):
+
+* ``"flat"`` — equal cell counts (the status-quo static split);
+* ``"curve"`` — equal cell counts snapped to power-of-two-aligned
+  curve-block boundaries, so each worker's segment is a union of whole
+  curve blocks (maximally compact spatial tiles under Morton/Hilbert);
+* ``"curve-balanced"`` — cut positions chosen from the per-cell
+  particle histogram so every worker owns ~equal *particles*
+  (prefix-sum + searchsorted along the curve).
+
+Every mode yields disjoint contiguous ranges covering ``[0, nalloc)``
+with any empty ranges trailing — the invariant the bitwise promise of
+the cell-ownership deposit rests on (each ``rho`` row has exactly one
+owner, each owner deposits its particles in global particle order).
+:class:`PartitionPlanner` adds cheap every-K-step repartitioning with
+hysteresis: ranges move only when the measured load imbalance exceeds
+a threshold, so a quiescent plasma never pays repartition churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "PARTITION_MODES",
+    "partition_cells",
+    "balance_ratio",
+    "PartitionPlanner",
+]
+
+#: The recognised partition modes, in documentation order.
+PARTITION_MODES = ("flat", "curve", "curve-balanced")
+
+
+def _flat_cuts(n: int, nparts: int) -> np.ndarray:
+    """Equal-count boundaries: sizes differ by <= 1, empties trailing."""
+    base, rem = divmod(int(n), int(nparts))
+    sizes = np.full(nparts, base, dtype=np.int64)
+    sizes[:rem] += 1
+    bounds = np.zeros(nparts + 1, dtype=np.int64)
+    np.cumsum(sizes, out=bounds[1:])
+    return bounds
+
+
+def _aligned_cuts(n: int, nparts: int, align: int) -> np.ndarray:
+    """Equal-*block* boundaries: every interior cut is a multiple of
+    ``align``; the final (possibly partial) block joins the last
+    non-empty range."""
+    align = max(1, int(align))
+    nblocks = -(-int(n) // align)  # ceil
+    bounds = _flat_cuts(nblocks, nparts) * align
+    np.minimum(bounds, int(n), out=bounds)
+    return bounds
+
+
+def _balanced_cuts(n: int, nparts: int, histogram: np.ndarray) -> np.ndarray:
+    """Histogram-weighted boundaries: ~equal particles per range."""
+    hist = np.asarray(histogram, dtype=np.int64)
+    if hist.shape[0] < n:
+        hist = np.concatenate([hist, np.zeros(n - hist.shape[0], np.int64)])
+    prefix = np.cumsum(hist[:n])
+    total = int(prefix[-1]) if n else 0
+    if total <= 0:
+        return _flat_cuts(n, nparts)
+    targets = (total * np.arange(1, nparts, dtype=np.float64)) / nparts
+    interior = np.searchsorted(prefix, targets, side="left") + 1
+    bounds = np.empty(nparts + 1, dtype=np.int64)
+    bounds[0] = 0
+    bounds[1:-1] = interior
+    bounds[-1] = n
+    # repair: boundaries non-decreasing, and no empty range before a
+    # non-empty one (give each earlier worker at least one cell while
+    # cells remain) — keeps empties trailing-only like the flat split
+    for j in range(1, nparts):
+        lo = min(bounds[j - 1] + 1, n)
+        bounds[j] = min(max(bounds[j], lo), n)
+    return bounds
+
+
+def partition_cells(
+    nalloc: int,
+    nparts: int,
+    *,
+    mode: str = "flat",
+    histogram=None,
+    align: int | None = None,
+) -> list[slice]:
+    """Cut ``[0, nalloc)`` cell rows into ``nparts`` contiguous ranges.
+
+    ``mode`` selects the cut rule (see the module docstring):
+    ``"flat"`` equal cells, ``"curve"`` equal cells snapped to
+    ``align``-cell curve-block boundaries (default: the largest power
+    of two ``<= nalloc // nparts``), ``"curve-balanced"`` ~equal
+    particles from the per-cell ``histogram`` (falls back to the flat
+    split when no histogram is given or it is empty).
+
+    Every mode returns disjoint contiguous slices that cover
+    ``[0, nalloc)`` exactly, with any empty slices trailing (never
+    interleaved), and is deterministic — the same inputs always
+    produce the identical partition, so runs are reproducible.
+    Because ``rho_1d`` rows are already in curve order, *any* such
+    partition preserves the cell-ownership deposit's bitwise
+    equivalence to the serial deposit: the cuts move work between
+    workers, never change what is summed into a row or in which
+    order.  Thread-safety: pure function of its arguments (no shared
+    state), safe to call concurrently from any thread or process.
+    """
+    if nparts <= 0:
+        raise ValueError("nparts must be positive")
+    if nalloc < 0:
+        raise ValueError("nalloc must be >= 0")
+    if mode not in PARTITION_MODES:
+        raise ValueError(f"mode must be one of {PARTITION_MODES}")
+    if mode == "curve-balanced" and histogram is not None:
+        bounds = _balanced_cuts(nalloc, nparts, histogram)
+    elif mode == "curve" and nalloc:
+        if align is None:
+            per = max(1, nalloc // nparts)
+            align = 1 << max(0, per.bit_length() - 1)
+        bounds = _aligned_cuts(nalloc, nparts, align)
+    else:
+        bounds = _flat_cuts(nalloc, nparts)
+    return [slice(int(bounds[t]), int(bounds[t + 1])) for t in range(nparts)]
+
+
+def balance_ratio(ranges, histogram) -> float:
+    """Max/mean particle load over the partition (1.0 = perfect).
+
+    ``ranges`` are the slices of :func:`partition_cells`, ``histogram``
+    the per-cell particle counts; the load of a range is the particle
+    total of its cells, the mean divides by *all* ranges (idle workers
+    count — they are the imbalance).  Returns 1.0 for an empty
+    histogram.  Deterministic and side-effect free (a pure reduction
+    over its arguments), so it is safe under concurrent calls from any
+    thread or process and equivalent wherever it is evaluated.
+    """
+    hist = np.asarray(histogram, dtype=np.float64)
+    prefix = np.concatenate([[0.0], np.cumsum(hist)])
+    total = float(prefix[-1])
+    if total <= 0 or not len(ranges):
+        return 1.0
+    loads = [
+        float(prefix[min(sl.stop, len(hist))] - prefix[min(sl.start, len(hist))])
+        for sl in ranges
+    ]
+    return max(loads) / (total / len(ranges))
+
+
+@dataclass
+class PartitionPlanner:
+    """Every-K-step, hysteresis-guarded repartitioning policy.
+
+    Owns the current partition of ``nalloc`` cell rows over ``nparts``
+    workers and decides, from the per-cell particle histogram the
+    deposit path already has, when to move the cuts:
+
+    * only in ``"curve-balanced"`` mode and only every
+      ``repartition_every`` deposit calls (0 freezes the initial
+      partition);
+    * only when the *measured* imbalance of the current partition
+      exceeds ``rebalance_threshold`` (max/mean particle load) — the
+      hysteresis guard that keeps a well-balanced run from paying
+      repartition churn for noise.
+
+    Every adopted repartition is appended to :attr:`events` (step
+    counter, old/new balance ratio) so ``--timings-json`` can export
+    the decision trail.  Not thread-safe itself (one planner per
+    engine, driven from the parent process only); the partitions it
+    emits are what make the worker-side deposit race-free.
+    """
+
+    nalloc: int
+    nparts: int
+    mode: str = "flat"
+    repartition_every: int = 10
+    rebalance_threshold: float = 1.5
+    current: list = field(default_factory=list)
+    events: list = field(default_factory=list)
+    calls: int = field(default=0)
+
+    def __post_init__(self):
+        if self.mode not in PARTITION_MODES:
+            raise ValueError(f"mode must be one of {PARTITION_MODES}")
+        if self.repartition_every < 0:
+            raise ValueError("repartition_every must be >= 0")
+        if self.rebalance_threshold < 1.0:
+            raise ValueError("rebalance_threshold must be >= 1.0")
+
+    # ------------------------------------------------------------------
+    def initial(self, histogram=None) -> list[slice]:
+        """Compute and adopt the starting partition (histogram optional)."""
+        self.current = partition_cells(
+            self.nalloc, self.nparts, mode=self.mode, histogram=histogram
+        )
+        return self.current
+
+    def wants_histogram(self) -> bool:
+        """Whether the *next* :meth:`maybe_repartition` call will look
+        at a histogram (lets the caller skip the bincount entirely on
+        off-steps and in the static modes)."""
+        if self.mode != "curve-balanced" or self.repartition_every <= 0:
+            return False
+        return (self.calls + 1) % self.repartition_every == 0
+
+    def maybe_repartition(self, histogram=None) -> list[slice] | None:
+        """One deposit call: repartition if due and worthwhile.
+
+        Returns the new ranges when the partition moved, else ``None``
+        (the caller keeps using :attr:`current` either way).
+        """
+        self.calls += 1
+        if (
+            self.mode != "curve-balanced"
+            or self.repartition_every <= 0
+            or histogram is None
+            or self.calls % self.repartition_every != 0
+        ):
+            return None
+        before = balance_ratio(self.current, histogram)
+        if before <= self.rebalance_threshold:
+            return None
+        candidate = partition_cells(
+            self.nalloc, self.nparts, mode=self.mode, histogram=histogram
+        )
+        after = balance_ratio(candidate, histogram)
+        if after >= before:
+            return None
+        self.current = candidate
+        self.events.append(
+            {
+                "call": self.calls,
+                "balance_before": before,
+                "balance_after": after,
+            }
+        )
+        return candidate

@@ -21,12 +21,15 @@ Three pieces:
   stepper's buffer swap keeps both storages visible to the workers.
 * :class:`SharedGrid` — moves a :class:`RedundantFields`' ``rho_1d`` /
   ``e_1d`` into the arena and adds one private deposit slab per worker
-  plus the fixed cell-range partition (reusing
-  :func:`repro.parallel.openmp.partition_range`) that makes the
-  parallel deposit bitwise-deterministic: worker ``w`` owns the
-  contiguous cell rows ``cell_ranges[w]`` and deposits only particles
-  whose cell falls inside them, in particle order — exactly the terms
-  the serial ``np.bincount`` deposit would put in those rows.
+  plus the cell-range partition that makes the parallel deposit
+  bitwise-deterministic: worker ``w`` owns the contiguous cell rows
+  ``cell_ranges[w]`` and deposits only particles whose cell falls
+  inside them, in particle order — exactly the terms the serial
+  ``np.bincount`` deposit would put in those rows.  The slabs are
+  allocated at full grid capacity, so ownership is *recomputable*:
+  :meth:`SharedGrid.set_cell_ranges` moves the cuts between steps
+  (curve-aware / load-balanced partitions from
+  :mod:`repro.parallel.partition`) without touching the arena.
 
 Workers attach to segments lazily by name via :func:`attach_array`;
 the attach path neutralises the ``resource_tracker`` so only the
@@ -223,37 +226,73 @@ class SharedGrid:
     Moves ``fields.rho_1d`` / ``fields.e_1d`` into the arena (the
     :class:`RedundantFields` instance adopts the shared arrays in
     place, so every stepper-side read and the Poisson fold see them),
-    and fixes the deposit partition for the engine's lifetime:
+    and holds the deposit partition:
 
     * ``cell_ranges[w]`` — the contiguous slice of cell rows worker
-      ``w`` owns (static split of ``ncells_allocated``);
-    * ``slabs[w]`` — worker ``w``'s private ``(range_len, 4)`` deposit
+      ``w`` currently owns (any disjoint contiguous cover of
+      ``ncells_allocated``; defaults to the equal-cell split);
+    * ``slabs[w]`` — worker ``w``'s private ``(nalloc, 4)`` deposit
       target, written by the worker and added into
       ``rho_1d[cell_ranges[w]]`` by the parent in worker order.
+
+    Slabs are sized to the *full* grid rather than the current range,
+    so :meth:`set_cell_ranges` can move ownership between steps (the
+    load-balanced partitions of :mod:`repro.parallel.partition`)
+    without reallocating shared segments mid-run — workers attach to a
+    segment once and only ever use its ``[:range_len]`` prefix.
 
     Because the ranges are disjoint and each slab row receives exactly
     the bincount terms the serial deposit would put in the matching
     ``rho_1d`` row (same particles, same order), the reduction is
-    bitwise-identical to the serial deposit at any worker count.
+    bitwise-identical to the serial deposit at any worker count and
+    for any partition.
     """
 
-    def __init__(self, fields: RedundantFields, nworkers: int, arena: SharedArena):
+    def __init__(
+        self,
+        fields: RedundantFields,
+        nworkers: int,
+        arena: SharedArena,
+        cell_ranges=None,
+    ):
         if fields.layout != "redundant":
             raise ValueError("SharedGrid requires the redundant field layout")
         self.fields = fields
         self.arena = arena
+        self.nworkers = int(nworkers)
         self.nalloc = int(fields.rho_1d.shape[0])
         self.rho_1d = arena.share_copy(fields.rho_1d)
         self.e_1d = arena.share_copy(fields.e_1d)
         fields.adopt_arrays(self.rho_1d, self.e_1d)
-        self.cell_ranges = partition_range(self.nalloc, nworkers)
         self.slabs = [
-            arena.alloc((sl.stop - sl.start, 4)) for sl in self.cell_ranges
+            arena.alloc((self.nalloc, 4)) for _ in range(self.nworkers)
         ]
+        self.set_cell_ranges(
+            cell_ranges
+            if cell_ranges is not None
+            else partition_range(self.nalloc, self.nworkers)
+        )
+
+    def set_cell_ranges(self, ranges) -> None:
+        """Adopt a new ownership partition (validated, effective at the
+        next deposit — the full-capacity slabs need no reallocation)."""
+        ranges = list(ranges)
+        if len(ranges) != self.nworkers:
+            raise ValueError(
+                f"expected {self.nworkers} ranges, got {len(ranges)}"
+            )
+        pos = 0
+        for sl in ranges:
+            if sl.start != pos or sl.stop < sl.start:
+                raise ValueError(f"ranges must tile [0, {self.nalloc}) contiguously")
+            pos = sl.stop
+        if pos != self.nalloc:
+            raise ValueError(f"ranges must cover all {self.nalloc} cell rows")
+        self.cell_ranges = ranges
 
     def reduce_slabs(self, worker_ids) -> None:
         """Add the given workers' slabs into ``rho_1d`` (disjoint rows)."""
         for w in sorted(worker_ids):
             sl = self.cell_ranges[w]
             if sl.stop > sl.start:
-                self.rho_1d[sl] += self.slabs[w]
+                self.rho_1d[sl] += self.slabs[w][: sl.stop - sl.start]

@@ -22,6 +22,7 @@ from repro.particles.storage import (
 )
 from repro.particles.initializers import (
     BumpOnTail,
+    GaussianBump,
     InitialCondition,
     LandauDamping,
     TwoStream,
@@ -47,6 +48,7 @@ __all__ = [
     "LandauDamping",
     "TwoStream",
     "BumpOnTail",
+    "GaussianBump",
     "UniformMaxwellian",
     "halton_sequence",
     "sample_perturbed_positions",

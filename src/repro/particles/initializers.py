@@ -31,6 +31,7 @@ __all__ = [
     "LandauDamping",
     "TwoStream",
     "BumpOnTail",
+    "GaussianBump",
     "UniformMaxwellian",
     "halton_sequence",
     "sample_perturbed_positions",
@@ -254,6 +255,73 @@ class BumpOnTail(InitialCondition):
     def default_grid(self):
         # resonant mode near v_beam: k ~ omega_p / v_beam
         return GridSpec(64, 64, 0.0, 8 * np.pi, 0.0, 8 * np.pi)
+
+
+@dataclass(frozen=True)
+class GaussianBump(InitialCondition):
+    """Skewed density: a uniform background plus an off-center Gaussian blob.
+
+    ``weight_bump`` of the particles sit in an isotropic 2D Gaussian of
+    width ``sigma_frac * min(Lx, Ly)`` centered at the box fraction
+    ``(center_x, center_y)``; the rest are uniform.  Velocities are
+    Maxwellian everywhere, so the case is physically benign — its
+    purpose is the *density profile*: most particles in a few cells of
+    one corner of the domain, which makes any equal-cell deposit
+    partition maximally imbalanced.  This is the load-balancing
+    stress case for ``OptimizationConfig.partition`` (the verifier's
+    partition-flip pins and the bench gate's skewed scenario run it).
+
+    The off-center default (0.3, 0.3) is deliberate: a *centered* blob
+    straddles all four Morton quadrants and can be accidentally
+    balanced by the flat split; off-center, the blob's cells fall into
+    few curve segments and the imbalance is genuine under every
+    ordering.
+    """
+
+    weight_bump: float = 0.7
+    sigma_frac: float = 0.08
+    vth: float = 1.0
+    center_x: float = 0.3
+    center_y: float = 0.3
+
+    def __post_init__(self):
+        if not 0.0 <= self.weight_bump <= 1.0:
+            raise ValueError("weight_bump must be in [0, 1]")
+        if self.sigma_frac <= 0.0:
+            raise ValueError("sigma_frac must be positive")
+
+    def sample(self, n, grid, rng=None, quiet=False):
+        sigma = self.sigma_frac * min(grid.lx, grid.ly)
+        cx = grid.xmin + self.center_x * grid.lx
+        cy = grid.ymin + self.center_y * grid.ly
+        if quiet:
+            # Halton bases here must stay distinct from the velocity
+            # bases (7, 11 in _maxwellian's default) or the position
+            # and velocity draws correlate
+            in_bump = halton_sequence(n, 5) < self.weight_bump
+            u1 = np.clip(halton_sequence(n, 2), 1e-12, 1.0)
+            u2 = halton_sequence(n, 3)
+            r = sigma * np.sqrt(-2.0 * np.log(u1))
+            gx = cx + r * np.cos(2 * np.pi * u2)
+            gy = cy + r * np.sin(2 * np.pi * u2)
+            ux = grid.xmin + grid.lx * halton_sequence(n, 13)
+            uy = grid.ymin + grid.ly * halton_sequence(n, 17)
+        else:
+            in_bump = rng.random(n) < self.weight_bump
+            gx = rng.normal(cx, sigma, n)
+            gy = rng.normal(cy, sigma, n)
+            ux = grid.xmin + grid.lx * rng.random(n)
+            uy = grid.ymin + grid.ly * rng.random(n)
+        x = np.where(in_bump, gx, ux)
+        y = np.where(in_bump, gy, uy)
+        # periodic wrap keeps blob tails inside the box
+        x = grid.xmin + np.mod(x - grid.xmin, grid.lx)
+        y = grid.ymin + np.mod(y - grid.ymin, grid.ly)
+        vx, vy = _maxwellian(n, self.vth, rng, quiet)
+        return x, y, vx, vy
+
+    def default_grid(self):
+        return GridSpec(64, 64, 0.0, 4 * np.pi, 0.0, 4 * np.pi)
 
 
 def load_particles(

@@ -93,6 +93,12 @@ class StepTimings:
     #: :attr:`repro.core.autotune.LoopModeAutoTuner.decisions` (empty
     #: unless ``loop_mode="auto"``)
     autotune: list = field(default_factory=list)
+    #: measured data movement of the parallel deposit: ``{"samples": n,
+    #: "last": {...}}`` where ``last`` is the most recent
+    #: :func:`repro.perf.datamove.deposit_movement` ledger (per-worker
+    #: bytes / balance / span / rusage); empty for in-process backends
+    #: and when sampling is off
+    datamove: dict = field(default_factory=dict)
 
     @property
     def total(self) -> float:
@@ -161,6 +167,7 @@ class StepTimings:
         rec["loop_paths"] = dict(self.loop_paths)
         rec["deposit_variants"] = dict(self.deposit_variants)
         rec["autotune"] = list(self.autotune)
+        rec["datamove"] = dict(self.datamove)
         return rec
 
     def to_json(self, **dumps_kwargs) -> str:
@@ -186,6 +193,7 @@ class StepTimings:
             loop_paths=rec.get("loop_paths", {}),
             deposit_variants=rec.get("deposit_variants", {}),
             autotune=rec.get("autotune", []),
+            datamove=rec.get("datamove", {}),
         )
 
 
@@ -298,6 +306,22 @@ class Instrumentation:
         self.timings.fallbacks += int(count)
         if self._current is not None:
             self._current["fallbacks"] += int(count)
+
+    def record_datamove(self, stats: dict) -> None:
+        """Record one measured data-movement sample of the deposit.
+
+        ``stats`` is a :func:`repro.perf.datamove.deposit_movement`
+        ledger (plus whatever the engine attached — repartition events,
+        ``resource`` counters).  Keeps a sample counter and the latest
+        ledger in :attr:`StepTimings.datamove` and tags the current
+        per-step record, so ``--timings-json`` exports both the trend
+        and the final state without unbounded growth.
+        """
+        dm = self.timings.datamove
+        dm["samples"] = int(dm.get("samples", 0)) + 1
+        dm["last"] = dict(stats)
+        if self._current is not None:
+            self._current["datamove"] = dict(stats)
 
     def record_worker_phase(self, worker: str, phase: str, seconds: float) -> None:
         """Accumulate one worker's wall-clock share of a kernel phase."""

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.config import OptimizationConfig
 from repro.grid.spec import GridSpec
-from repro.particles.initializers import LandauDamping, TwoStream
+from repro.particles.initializers import GaussianBump, LandauDamping, TwoStream
 
 __all__ = ["Scenario", "ScenarioSampler"]
 
@@ -37,7 +37,10 @@ _LOOP_POOL = ("split", "fused")
 _PUSH_POOL = ("branch", "modulo", "bitwise")
 _SORT_PERIODS = (0, 2, 3, 5)
 _SORT_VARIANTS = ("in-place", "out-of-place")
-_CASE_POOL = ("landau", "two-stream")
+#: ``gaussian-bump`` is the skewed-density load-balancing stress case:
+#: most particles clumped in one corner, so the partition axis below
+#: actually moves the deposit cuts it is supposed to exercise
+_CASE_POOL = ("landau", "two-stream", "gaussian-bump")
 #: block sizes for the tiled deposit — weighted toward 0 (untiled)
 #: so most scenarios still exercise the classic whole-grid kernels;
 #: the nonzero entries hit per-cell, small-block, and large-block
@@ -49,6 +52,11 @@ _BLOCK_POOL = (0, 0, 1, 4, 64)
 #: and all-serial (everything sparse, which coalesces to one pass).
 _THRESHOLD_POOL = ((4.0, 64.0), (0.0, 0.0), (1e30, 2e30))
 _DEPOSIT_THREADS_POOL = (1, 2, 7)
+#: partition modes of the parallel/sharded deposit — all bitwise by
+#: the cell-ownership argument; the differ additionally pins a
+#: partition *flip* per scenario so flat vs curve-balanced is compared
+#: directly
+_PARTITION_POOL = ("flat", "curve", "curve-balanced")
 
 
 @dataclass(frozen=True)
@@ -74,6 +82,7 @@ class Scenario:
     block_size: int = 0
     deposit_thresholds: tuple = (4.0, 64.0)
     deposit_threads: int = 1
+    partition: str = "flat"
 
     def grid(self) -> GridSpec:
         return GridSpec(self.ncx, self.ncy, xmax=4 * np.pi, ymax=2 * np.pi)
@@ -81,6 +90,8 @@ class Scenario:
     def case(self):
         if self.case_name == "landau":
             return LandauDamping(alpha=0.1, vth=1.0)
+        if self.case_name == "gaussian-bump":
+            return GaussianBump()
         return TwoStream(v0=2.4, vth=0.5, alpha=0.01)
 
     def config(self, backend: str = "numpy", workers: int | None = None,
@@ -99,6 +110,7 @@ class Scenario:
             block_size=self.block_size,
             deposit_thresholds=self.deposit_thresholds,
             deposit_threads=self.deposit_threads,
+            partition=self.partition,
         )
         if workers is not None:
             kwargs["workers"] = workers
@@ -107,11 +119,12 @@ class Scenario:
     def label(self) -> str:
         sort = f"sort{self.sort_period}" if self.sort_period else "nosort"
         tile = f" bs{self.block_size}" if self.block_size else ""
+        part = f" {self.partition}" if self.partition != "flat" else ""
         return (
             f"#{self.index} {self.case_name} {self.ncx}x{self.ncy} "
             f"n={self.n_particles} {self.ordering}/{self.field_layout}/"
             f"{self.loop_mode}/{self.position_update} "
-            f"{'hoist' if self.hoisting else 'nohoist'} {sort}{tile}"
+            f"{'hoist' if self.hoisting else 'nohoist'} {sort}{tile}{part}"
         )
 
 
@@ -162,6 +175,7 @@ class ScenarioSampler:
             block_size=int(self._pick(_BLOCK_POOL)),
             deposit_thresholds=self._pick(_THRESHOLD_POOL),
             deposit_threads=int(self._pick(_DEPOSIT_THREADS_POOL)),
+            partition=self._pick(_PARTITION_POOL),
         )
         self._count += 1
         return scenario

@@ -24,6 +24,10 @@ tiled deposit, any block size       bitwise (blocks own disjoint contiguous
                                     rho element receives the identical
                                     per-cell sum — see
                                     :mod:`repro.core.deposit`)
+deposit partition flip              bitwise (flat vs curve vs curve-balanced
+                                    cuts move work between workers/shards,
+                                    never what a rho row sums or in which
+                                    order — :mod:`repro.parallel.partition`)
 scalar ReferenceStepper             bitwise (checked separately in tests;
                                     too slow for the sampled matrix)
 ==================================  =========================================
@@ -80,6 +84,7 @@ class Combo:
     workers: int | None = None
     sort_variant: str | None = None  #: None -> the scenario's own variant
     block_size: int | None = None  #: None -> the scenario's own block size
+    partition: str | None = None  #: None -> the scenario's own partition
 
     def label(self) -> str:
         parts = [self.backend]
@@ -91,6 +96,8 @@ class Combo:
             parts.append(self.sort_variant)
         if self.block_size is not None:
             parts.append(f"bs{self.block_size}")
+        if self.partition is not None:
+            parts.append(self.partition)
         return "/".join(parts)
 
 
@@ -193,6 +200,8 @@ class _Run:
             cfg = replace(cfg, sort_variant=combo.sort_variant)
         if combo.block_size is not None:
             cfg = replace(cfg, block_size=combo.block_size)
+        if combo.partition is not None:
+            cfg = replace(cfg, partition=combo.partition)
         self.stepper = PICStepper(
             scenario.grid(), cfg,
             case=scenario.case(), n_particles=scenario.n_particles,
@@ -284,9 +293,18 @@ class DifferentialRunner:
             else "tolerance"
         )
         combos.append((Combo("numpy", loop_mode="fused"), fused_rel))
+        # partition flip: run the deposit-partitioned combos under the
+        # mode the scenario did NOT sample, so every scenario pins
+        # flat-vs-curve-balanced bitwise identity directly (the cuts
+        # move work between workers, never what a rho row sums)
+        part_flip = (
+            "curve-balanced" if scenario.partition != "curve-balanced"
+            else "flat"
+        )
         if "numpy-mp" in avail and self.include_mp:
             combos.append(
-                (Combo("numpy-mp", loop_mode="split", workers=self.mp_workers),
+                (Combo("numpy-mp", loop_mode="split", workers=self.mp_workers,
+                       partition=part_flip),
                  "bitwise")
             )
         if "numba" in avail:
@@ -308,7 +326,8 @@ class DifferentialRunner:
         if scenario.field_layout == "redundant":
             alt_block = 4 if scenario.block_size != 4 else 16
             combos.append(
-                (Combo("numpy", loop_mode="split", block_size=alt_block),
+                (Combo("numpy", loop_mode="split", block_size=alt_block,
+                       partition=part_flip),
                  "bitwise")
             )
         return combos

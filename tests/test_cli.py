@@ -155,6 +155,46 @@ class TestRun:
         assert code == 0
         assert "case=bump-on-tail" in out
 
+    def test_gaussian_bump_case_with_partition(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "--case", "gaussian-bump", "--particles", "4000",
+            "--steps", "3", "--grid", "16", "16",
+            "--partition", "curve-balanced", "--repartition-every", "2",
+        )
+        assert code == 0
+        assert "case=gaussian-bump" in out
+
+    def test_rejects_unknown_partition(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--partition", "zigzag"]
+            )
+
+
+class TestCalibrateCommand:
+    def test_calibrate_roundtrip_is_deterministic(self, capsys, tmp_path):
+        tj = tmp_path / "timings.json"
+        code, _ = run_cli(
+            capsys, "run", "--particles", "3000", "--steps", "4",
+            "--grid", "16", "8", "--timings-json", str(tj),
+        )
+        assert code == 0
+        out1 = tmp_path / "cal1.json"
+        out2 = tmp_path / "cal2.json"
+        for out_path in (out1, out2):
+            code, text = run_cli(
+                capsys, "calibrate", "--timings", str(tj),
+                "--output", str(out_path),
+            )
+            assert code == 0
+            assert "stall_overlap" in text
+        assert out1.read_text() == out2.read_text()
+        import json
+
+        cal = json.loads(out1.read_text())
+        assert 0.0 <= cal["stall_overlap"] <= 1.0
+        assert set(cal["loops"]) == {"update_v", "update_x", "accumulate"}
+
 
 class TestSupervisedRunCommand:
     def test_supervised_run_reports(self, capsys, tmp_path):

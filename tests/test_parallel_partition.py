@@ -1,0 +1,509 @@
+"""Tests for curve-aware shard partitioning + measured data movement.
+
+The contract under test (docs/parallelism.md, §V-B): cutting the
+redundant ``rho_1d`` cell rows along *any* contiguous curve segments —
+flat, curve-aligned, or histogram-balanced — never changes the deposit
+result, because each row has exactly one owner and each owner visits
+its particles in global order.  So the bitwise promise must hold for
+every partition mode at every worker count, while ``curve-balanced``
+must *measurably* improve the max/mean particle load on a skewed
+density.  The data-movement ledger and the stall-parameter calibration
+ride the same machinery and must be deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.backends import get_backend
+from repro.core.config import OptimizationConfig
+from repro.core.simulation import Simulation
+from repro.curves import get_ordering
+from repro.grid.spec import GridSpec
+from repro.parallel.openmp import partition_range
+from repro.parallel.partition import (
+    PARTITION_MODES,
+    PartitionPlanner,
+    balance_ratio,
+    partition_cells,
+)
+from repro.particles.initializers import GaussianBump
+from repro.perf.datamove import (
+    DEFAULT_CALIBRATION_MISSES,
+    deposit_movement,
+    fit_stall_overlap,
+    rusage_sample,
+)
+from repro.perf.instrument import StepTimings
+
+
+def _skewed_histogram(nalloc: int, n: int, hot_cells: int = 8) -> np.ndarray:
+    """90% of ``n`` particles piled into the first ``hot_cells`` cells."""
+    rng = np.random.default_rng(99)
+    hot = rng.integers(0, hot_cells, size=int(0.9 * n))
+    cold = rng.integers(0, nalloc, size=n - hot.size)
+    return np.bincount(np.concatenate([hot, cold]), minlength=nalloc)
+
+
+def _coverage_ok(ranges, nalloc):
+    """Slices tile [0, nalloc) contiguously with empties trailing only."""
+    assert ranges[0].start == 0
+    assert ranges[-1].stop == nalloc
+    seen_empty = False
+    for a, b in zip(ranges, ranges[1:]):
+        assert a.stop == b.start
+    for sl in ranges:
+        assert sl.stop >= sl.start
+        if sl.stop == sl.start:
+            seen_empty = True
+        else:
+            assert not seen_empty, "empty range before a non-empty one"
+
+
+class TestPartitionCells:
+    @pytest.mark.parametrize("mode", PARTITION_MODES)
+    @pytest.mark.parametrize("nparts", [1, 2, 3, 5, 7, 16])
+    def test_covers_exactly(self, mode, nparts):
+        nalloc = 64
+        hist = _skewed_histogram(nalloc, 1000)
+        ranges = partition_cells(nalloc, nparts, mode=mode, histogram=hist)
+        assert len(ranges) == nparts
+        _coverage_ok(ranges, nalloc)
+
+    @pytest.mark.parametrize("mode", PARTITION_MODES)
+    def test_more_parts_than_cells_trails_empties(self, mode):
+        hist = np.array([50, 1, 1], dtype=np.int64)
+        ranges = partition_cells(3, 7, mode=mode, histogram=hist)
+        _coverage_ok(ranges, 3)
+        nonempty = [sl for sl in ranges if sl.stop > sl.start]
+        assert len(nonempty) == 3
+        assert all(sl.stop - sl.start == 1 for sl in nonempty)
+
+    @pytest.mark.parametrize("mode", PARTITION_MODES)
+    def test_zero_cells(self, mode):
+        ranges = partition_cells(0, 4, mode=mode, histogram=np.zeros(0, np.int64))
+        assert len(ranges) == 4
+        assert all(sl.start == 0 and sl.stop == 0 for sl in ranges)
+
+    def test_flat_sizes_differ_by_at_most_one(self):
+        ranges = partition_cells(100, 7, mode="flat")
+        sizes = [sl.stop - sl.start for sl in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_curve_cuts_are_block_aligned(self):
+        nalloc, nparts = 256, 3
+        per = nalloc // nparts
+        align = 1 << (per.bit_length() - 1)  # largest pow2 <= per
+        ranges = partition_cells(nalloc, nparts, mode="curve")
+        for sl in ranges[:-1]:
+            assert sl.stop % align == 0 or sl.stop == nalloc
+        _coverage_ok(ranges, nalloc)
+
+    def test_balanced_strictly_improves_skew(self):
+        nalloc = 256
+        hist = _skewed_histogram(nalloc, 20_000)
+        for nparts in (2, 3, 5, 7):
+            flat = partition_cells(nalloc, nparts, mode="flat")
+            bal = partition_cells(
+                nalloc, nparts, mode="curve-balanced", histogram=hist
+            )
+            r_flat = balance_ratio(flat, hist)
+            r_bal = balance_ratio(bal, hist)
+            # the skew puts ~90% of particles in worker 0's flat range
+            assert r_flat > 1.5
+            assert r_bal < r_flat
+            assert abs(r_bal - 1.0) < abs(r_flat - 1.0)
+            # bounded: no worker more than ~2x the mean after balancing
+            assert r_bal <= 2.0
+
+    def test_balanced_without_histogram_falls_back_to_flat(self):
+        assert partition_cells(64, 4, mode="curve-balanced") == partition_cells(
+            64, 4, mode="flat"
+        )
+        zeros = np.zeros(64, np.int64)
+        assert partition_cells(
+            64, 4, mode="curve-balanced", histogram=zeros
+        ) == partition_cells(64, 4, mode="flat")
+
+    @pytest.mark.parametrize("mode", PARTITION_MODES)
+    def test_deterministic(self, mode):
+        hist = _skewed_histogram(128, 5000)
+        a = partition_cells(128, 5, mode=mode, histogram=hist)
+        b = partition_cells(128, 5, mode=mode, histogram=hist)
+        assert a == b
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            partition_cells(64, 0)
+        with pytest.raises(ValueError):
+            partition_cells(-1, 2)
+        with pytest.raises(ValueError):
+            partition_cells(64, 2, mode="zigzag")
+
+
+class TestBalanceRatio:
+    def test_perfect_balance_is_one(self):
+        hist = np.full(8, 10, np.int64)
+        ranges = partition_cells(8, 4, mode="flat")
+        assert balance_ratio(ranges, hist) == pytest.approx(1.0)
+
+    def test_idle_workers_count_as_imbalance(self):
+        hist = np.array([100, 0, 0, 0], np.int64)
+        ranges = partition_cells(4, 4, mode="flat")
+        # one worker has all load, mean divides by 4 -> ratio 4
+        assert balance_ratio(ranges, hist) == pytest.approx(4.0)
+
+    def test_empty_histogram_is_one(self):
+        ranges = partition_cells(4, 2, mode="flat")
+        assert balance_ratio(ranges, np.zeros(4, np.int64)) == 1.0
+        assert balance_ratio([], np.array([5])) == 1.0
+
+
+class TestPartitionRange:
+    """Degenerate-case contract of the simulated-OpenMP static split."""
+
+    def test_more_threads_than_items_trails_empties(self):
+        ranges = partition_range(3, 8)
+        assert len(ranges) == 8
+        _coverage_ok(ranges, 3)
+        assert [sl.stop - sl.start for sl in ranges[:3]] == [1, 1, 1]
+        assert all(sl.stop == sl.start for sl in ranges[3:])
+
+    def test_zero_items(self):
+        ranges = partition_range(0, 4)
+        assert all(sl.start == 0 and sl.stop == 0 for sl in ranges)
+
+    def test_matches_flat_partition_cells(self):
+        assert partition_range(100, 7) == partition_cells(100, 7, mode="flat")
+
+
+class TestPartitionPlanner:
+    def _skew(self, nalloc=64, n=5000):
+        return _skewed_histogram(nalloc, n)
+
+    def test_static_modes_never_repartition(self):
+        for mode in ("flat", "curve"):
+            p = PartitionPlanner(nalloc=64, nparts=4, mode=mode,
+                                 repartition_every=1)
+            p.initial()
+            assert not p.wants_histogram()
+            for _ in range(5):
+                assert p.maybe_repartition(self._skew()) is None
+            assert p.events == []
+
+    def test_every_zero_freezes_partition(self):
+        p = PartitionPlanner(nalloc=64, nparts=4, mode="curve-balanced",
+                             repartition_every=0)
+        first = list(p.initial(self._skew()))
+        assert not p.wants_histogram()
+        for _ in range(5):
+            assert p.maybe_repartition(self._skew()) is None
+        assert p.current == first
+
+    def test_repartitions_only_on_cadence(self):
+        p = PartitionPlanner(nalloc=64, nparts=4, mode="curve-balanced",
+                             repartition_every=3, rebalance_threshold=1.1)
+        p.initial()  # flat-equivalent: no histogram yet -> imbalanced
+        hist = self._skew()
+        assert not p.wants_histogram()  # call 1 is not a multiple of 3
+        assert p.maybe_repartition(hist) is None
+        assert p.maybe_repartition(hist) is None  # call 2
+        assert p.wants_histogram()  # call 3 is due
+        moved = p.maybe_repartition(hist)
+        assert moved is not None
+        assert p.current == moved
+        assert len(p.events) == 1
+        ev = p.events[0]
+        assert ev["call"] == 3
+        assert ev["balance_after"] < ev["balance_before"]
+
+    def test_hysteresis_blocks_balanced_repartition(self):
+        hist = self._skew()
+        p = PartitionPlanner(nalloc=64, nparts=4, mode="curve-balanced",
+                             repartition_every=1, rebalance_threshold=1.5)
+        p.initial(hist)  # already balanced against this histogram
+        assert p.maybe_repartition(hist) is None
+        assert p.events == []
+
+    def test_threshold_guard(self):
+        uniform = np.full(64, 10, np.int64)
+        p = PartitionPlanner(nalloc=64, nparts=4, mode="curve-balanced",
+                             repartition_every=1, rebalance_threshold=1.5)
+        p.initial()
+        # perfectly uniform load never crosses the threshold
+        for _ in range(4):
+            assert p.maybe_repartition(uniform) is None
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            PartitionPlanner(nalloc=8, nparts=2, mode="bogus")
+        with pytest.raises(ValueError):
+            PartitionPlanner(nalloc=8, nparts=2, repartition_every=-1)
+        with pytest.raises(ValueError):
+            PartitionPlanner(nalloc=8, nparts=2, rebalance_threshold=0.5)
+
+
+class TestBitwiseOwnershipDeposit:
+    """Cell-ownership deposit over any partition == serial, bit for bit.
+
+    Uses extreme density skew (90% of particles in one spatial corner)
+    under each curve ordering, the combination where the balanced cuts
+    diverge most from the flat ones.
+    """
+
+    def _skewed_particles(self, ordering, n=6000, seed=42):
+        rng = np.random.default_rng(seed)
+        ncx, ncy = ordering.ncx, ordering.ncy
+        n_hot = int(0.9 * n)
+        ix = np.concatenate([
+            rng.integers(0, max(1, ncx // 4), size=n_hot),
+            rng.integers(0, ncx, size=n - n_hot),
+        ])
+        iy = np.concatenate([
+            rng.integers(0, max(1, ncy // 4), size=n_hot),
+            rng.integers(0, ncy, size=n - n_hot),
+        ])
+        icell = ordering.encode(ix, iy)
+        dx = rng.random(n)
+        dy = rng.random(n)
+        return icell.astype(np.int64), dx, dy
+
+    @pytest.mark.parametrize("curve", ["row-major", "morton", "hilbert"])
+    @pytest.mark.parametrize("nworkers", [2, 3, 5, 7])
+    def test_bitwise_identity_all_modes(self, curve, nworkers):
+        ordering = get_ordering(curve, 16, 16)
+        nalloc = ordering.ncells_allocated
+        icell, dx, dy = self._skewed_particles(ordering)
+        backend = get_backend("numpy")
+
+        rho_ref = np.zeros((nalloc, 4))
+        backend.accumulate_redundant(rho_ref, icell, dx, dy, 1.0)
+
+        hist = np.bincount(icell, minlength=nalloc)
+        for mode in PARTITION_MODES:
+            ranges = partition_cells(nalloc, nworkers, mode=mode,
+                                     histogram=hist)
+            rho = np.zeros((nalloc, 4))
+            for sl in ranges:
+                if sl.stop <= sl.start:
+                    continue
+                mine = np.nonzero((icell >= sl.start) & (icell < sl.stop))[0]
+                if mine.size == 0:
+                    continue
+                backend.accumulate_redundant(
+                    rho[sl.start:sl.stop], icell[mine] - sl.start,
+                    dx[mine], dy[mine], 1.0,
+                )
+            assert np.array_equal(rho, rho_ref), (
+                f"{mode} partition broke bitwise identity "
+                f"({curve}, {nworkers} workers)"
+            )
+
+    def test_balanced_beats_flat_on_skew(self):
+        ordering = get_ordering("morton", 16, 16)
+        icell, _, _ = self._skewed_particles(ordering)
+        hist = np.bincount(icell, minlength=ordering.ncells_allocated)
+        for nworkers in (2, 3, 5, 7):
+            flat = partition_cells(len(hist), nworkers, mode="flat")
+            bal = partition_cells(len(hist), nworkers,
+                                  mode="curve-balanced", histogram=hist)
+            assert balance_ratio(bal, hist) < balance_ratio(flat, hist)
+
+    def test_tiled_dispatcher_bitwise_per_partition(self):
+        """The sharded tiled deposit honors the partition kwarg bitwise."""
+        from repro.core.deposit import accumulate_redundant_tiled
+
+        ordering = get_ordering("hilbert", 16, 16)
+        nalloc = ordering.ncells_allocated
+        icell, dx, dy = self._skewed_particles(ordering, n=4000)
+        backend = get_backend("numpy")
+        rho_ref = np.zeros((nalloc, 4))
+        backend.accumulate_redundant(rho_ref, icell, dx, dy, 1.0)
+        for mode in PARTITION_MODES:
+            rho = np.zeros((nalloc, 4))
+            accumulate_redundant_tiled(
+                backend, rho, icell, dx, dy, 1.0,
+                block_size=64, thresholds=(0.0, 0.0),  # everything sharded
+                nthreads=3, partition=mode,
+            )
+            assert np.array_equal(rho, rho_ref)
+
+
+class TestNumpyMpPartitionIntegration:
+    """Real worker-pool runs: partition modes bitwise vs serial numpy."""
+
+    pytestmark = pytest.mark.skipif(
+        not pytest.importorskip(
+            "repro.parallel.executor"
+        ).MultiprocessBackend.is_available(),
+        reason="POSIX shared memory / multiprocessing unavailable",
+    )
+
+    N, STEPS = 2000, 6
+
+    def _run(self, backend, **cfg_kw):
+        cfg = OptimizationConfig(
+            backend=backend, particle_layout="soa", field_layout="redundant",
+            loop_mode="split", sort_period=3, **cfg_kw,
+        )
+        grid = GridSpec(16, 16)
+        sim = Simulation(grid, GaussianBump(), self.N, cfg, dt=0.05, seed=7)
+        sim.run(self.STEPS)
+        st = sim.stepper
+        state = {
+            "rho": st.rho_grid.copy(),
+            "ex": st.ex_grid.copy(),
+            "vx": st.particles.vx.copy(),
+            "icell": st.particles.icell.copy(),
+        }
+        return state, sim
+
+    @pytest.mark.parametrize("partition", PARTITION_MODES)
+    def test_partition_modes_bitwise_vs_serial(self, partition):
+        ref, _ = self._run("numpy")
+        got, sim = self._run(
+            "numpy-mp", workers=3, partition=partition,
+            repartition_every=2, rebalance_threshold=1.05,
+        )
+        for key in ref:
+            assert np.array_equal(ref[key], got[key]), (
+                f"{key} diverged under partition={partition}"
+            )
+        dm = sim.instrumentation.timings.datamove
+        assert dm.get("samples", 0) >= 1
+        last = dm["last"]
+        assert last["mode"] == partition
+        assert last["particles"] == self.N
+        assert last["total_bytes"] > 0
+        assert set(last["per_worker"]) == {"worker0", "worker1", "worker2"}
+
+    def test_curve_balanced_repartitions_on_skew(self):
+        _, sim = self._run(
+            "numpy-mp", workers=3, partition="curve-balanced",
+            repartition_every=2, rebalance_threshold=1.05,
+        )
+        planner = get_backend("numpy-mp").engine_for(sim.stepper).planner
+        assert planner.mode == "curve-balanced"
+        # the bump keeps the load skewed enough to trip the threshold
+        assert len(planner.events) >= 1
+        dm = sim.instrumentation.timings.datamove
+        assert dm["last"].get("repartitions", 0) == len(planner.events)
+
+
+class TestDepositMovement:
+    def test_ledger_accounts_every_particle_and_cell(self):
+        nalloc, nworkers = 64, 4
+        hist = _skewed_histogram(nalloc, 3000)
+        ranges = partition_cells(nalloc, nworkers, mode="flat")
+        stats = deposit_movement(ranges, hist, mode="flat")
+        assert stats["mode"] == "flat"
+        assert stats["particles"] == int(hist.sum())
+        per = stats["per_worker"]
+        assert sum(w["particles"] for w in per.values()) == int(hist.sum())
+        assert sum(w["cells"] for w in per.values()) == nalloc
+        # every worker scans every key: bytes >= n_total * 8 each
+        assert all(w["bytes"] >= int(hist.sum()) * 8 for w in per.values())
+        assert stats["total_bytes"] == sum(w["bytes"] for w in per.values())
+        assert stats["balance_ratio"] == pytest.approx(
+            balance_ratio(ranges, hist)
+        )
+
+    def test_bbox_span_and_overlap_with_ordering(self):
+        ordering = get_ordering("morton", 8, 8)
+        nalloc = ordering.ncells_allocated
+        hist = np.ones(nalloc, np.int64)
+        ranges = partition_cells(nalloc, 4, mode="curve")
+        stats = deposit_movement(ranges, hist, mode="curve",
+                                 ordering=ordering)
+        assert "bbox_overlap_cells" in stats
+        for w in stats["per_worker"].values():
+            if w["cells"]:
+                assert "bbox" in w and "span_ratio" in w
+                assert w["span_ratio"] >= 1.0
+        # pow2-aligned Morton quadrants are compact and disjoint
+        assert all(
+            w["span_ratio"] == pytest.approx(1.0)
+            for w in stats["per_worker"].values()
+        )
+        assert stats["bbox_overlap_cells"] == 0
+
+    def test_json_serializable(self):
+        hist = _skewed_histogram(32, 500)
+        ranges = partition_cells(32, 3, mode="curve-balanced", histogram=hist)
+        stats = deposit_movement(ranges, hist, mode="curve-balanced",
+                                 ordering=get_ordering("hilbert", 8, 4))
+        json.dumps(stats)  # must not raise
+
+    def test_rusage_sample_shape(self):
+        sample = rusage_sample()
+        if sample is None:
+            pytest.skip("resource module unavailable")
+        for row in ("self", "children"):
+            assert set(sample[row]) == {
+                "minflt", "majflt", "nvcsw", "nivcsw", "maxrss_kb"
+            }
+
+
+class TestCalibration:
+    def _record(self):
+        return {
+            "cumulative": {
+                "particle_steps": 1_000_000,
+                "steps": 50,
+                "update_v": 0.030,
+                "update_x": 0.012,
+                "accumulate": 0.040,
+            }
+        }
+
+    def test_fit_is_deterministic(self):
+        a = fit_stall_overlap(self._record())
+        b = fit_stall_overlap(self._record())
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_fit_output_shape(self):
+        cal = fit_stall_overlap(self._record())
+        assert 0.0 <= cal["stall_overlap"] <= 1.0
+        assert cal["freq_scale"] > 0
+        assert np.isfinite(cal["residual_rms_s"])
+        assert cal["particle_steps"] == 1_000_000
+        assert set(cal["loops"]) == {"update_v", "update_x", "accumulate"}
+        for row in cal["loops"].values():
+            assert row["modeled_s"] > 0
+        assert cal["misses_assumed"] == {
+            k: dict(v) for k, v in DEFAULT_CALIBRATION_MISSES.items()
+        }
+
+    def test_accepts_bare_steptimings_record(self):
+        bare = self._record()["cumulative"]
+        cal = fit_stall_overlap(bare)
+        assert cal["steps"] == 50
+
+    def test_rejects_empty_records(self):
+        with pytest.raises(ValueError):
+            fit_stall_overlap({"cumulative": {"particle_steps": 0}})
+        with pytest.raises(ValueError):
+            fit_stall_overlap({"cumulative": {"particle_steps": 100}})
+
+
+class TestDatamoveTimingsRoundTrip:
+    def test_step_timings_datamove_survives_json(self):
+        t = StepTimings()
+        t.steps = 3
+        t.datamove = {
+            "samples": 2,
+            "last": {"mode": "curve-balanced", "particles": 500,
+                     "total_bytes": 123456, "balance_ratio": 1.25},
+        }
+        text = json.dumps(t.as_record())
+        back = StepTimings.from_json(text)
+        assert back.datamove == t.datamove
+
+    def test_default_is_empty_dict(self):
+        t = StepTimings()
+        assert t.datamove == {}
+        back = StepTimings.from_json(json.dumps(t.as_record()))
+        assert back.datamove == {}

@@ -36,6 +36,19 @@ only thing it may cost is dispatch overhead.  This gate bounds it:
 This gate always runs: it needs only the ``tiled_deposit`` capability,
 which the pure-numpy backend provides.
 
+**Partition gate** — on a skewed plasma the histogram-balanced curve
+cuts (:mod:`repro.parallel.partition`) must not lose to the flat
+equal-cell split on the deposit's critical path:
+
+* build a 90%-clumped particle population, cut the cell rows both ways
+  (``partition_cells`` flat vs curve-balanced), and time each shard's
+  deposit; the *max* shard time is the critical path a worker pool
+  would wait on, min-of-``--repeats`` windows;
+* **fail** (exit 1) if the balanced critical path exceeds
+  ``--max-partition-ratio`` (default 1.10) times the flat one, or if
+  the balanced cuts do not strictly improve the max/mean particle
+  balance ratio — the quantity the whole subsystem exists to shrink.
+
 Wired into ``make bench-gate`` (and ``make check``).  Pass
 ``--update-baseline`` to refresh ``BENCH_baseline.json`` with the
 measured numbers.
@@ -103,6 +116,71 @@ def _adaptive_deposit_ratio(backend_name, n, repeats):
     return ratio, static, adapt, variants
 
 
+def _skewed_partition_times(backend_name, n, nworkers, repeats):
+    """Deposit critical path (max shard time), flat vs balanced cuts.
+
+    Builds a 90%-clumped population on a 4096-cell curve, cuts the
+    cell rows with ``partition_cells`` both ways, and times each
+    shard's deposit on the frozen arrays.  The max shard time per
+    window is what a fork-join pool would wait on; min-of-``repeats``
+    windows is compared.  Particles are pre-sorted by cell so shard
+    selection is a pair of ``searchsorted`` probes — the timing
+    isolates the deposit itself, the quantity the cuts redistribute.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.core.backends import get_backend
+    from repro.parallel.partition import balance_ratio, partition_cells
+
+    backend = get_backend(backend_name)
+    rng = np.random.default_rng(2026)
+    ncells = 4096
+    n_hot = int(0.9 * n)
+    icell = np.sort(np.concatenate([
+        rng.integers(0, ncells // 16, size=n_hot),
+        rng.integers(0, ncells, size=n - n_hot),
+    ]).astype(np.int64))
+    dx, dy = rng.random(n), rng.random(n)
+    hist = np.bincount(icell, minlength=ncells)
+    rho = np.zeros((ncells, 4))
+
+    def critical_path(ranges):
+        best = float("inf")
+        for _ in range(repeats):
+            rho[:] = 0.0
+            worst = 0.0
+            for sl in ranges:
+                if sl.stop <= sl.start:
+                    continue
+                lo, hi = np.searchsorted(icell, (sl.start, sl.stop))
+                if hi <= lo:
+                    continue
+                t0 = time.perf_counter()
+                backend.accumulate_redundant(
+                    rho[sl.start:sl.stop], icell[lo:hi] - sl.start,
+                    dx[lo:hi], dy[lo:hi], 1.0,
+                )
+                worst = max(worst, time.perf_counter() - t0)
+            best = min(best, worst)
+        return best
+
+    flat = partition_cells(ncells, nworkers, mode="flat")
+    balanced = partition_cells(
+        ncells, nworkers, mode="curve-balanced", histogram=hist
+    )
+    return {
+        "particles": int(n),
+        "cells": ncells,
+        "workers": int(nworkers),
+        "flat_critical_s": critical_path(flat),
+        "balanced_critical_s": critical_path(balanced),
+        "flat_balance_ratio": balance_ratio(flat, hist),
+        "balanced_balance_ratio": balance_ratio(balanced, hist),
+    }
+
+
 def main(argv=None):
     from bench_simulation_throughput import measure_loop_modes
 
@@ -127,6 +205,13 @@ def main(argv=None):
     ap.add_argument("--repeats", type=int, default=5,
                     help="kernel windows per side for the adaptive gate; "
                          "min-of-k is compared (default 5)")
+    ap.add_argument("--max-partition-ratio", type=float, default=1.10,
+                    help="hard gate: on the skewed workload the "
+                         "curve-balanced deposit critical path may cost at "
+                         "most this factor of the flat split's (default "
+                         "1.10)")
+    ap.add_argument("--partition-workers", type=int, default=4,
+                    help="shard count for the partition gate (default 4)")
     ap.add_argument("--update-baseline", action="store_true",
                     help="write the measurements into BENCH_baseline.json")
     args = ap.parse_args(argv)
@@ -233,6 +318,38 @@ def main(argv=None):
                 f"(> {args.max_adaptive_ratio:.2f}x)"
             )
 
+    # -- gate 3: balanced cuts must not lose on a skewed plasma -------
+    part_backend = max(
+        available_backends(), key=lambda b: get_backend(b).priority
+    )
+    part = _skewed_partition_times(
+        part_backend, args.particles, args.partition_workers, args.repeats
+    )
+    part_ratio = (
+        part["balanced_critical_s"] / part["flat_critical_s"]
+        if part["flat_critical_s"] > 0 else 1.0
+    )
+    print(f"  partition gate on {part_backend!r} "
+          f"({part['workers']} shards, 90% skew): critical path "
+          f"balanced {part['balanced_critical_s'] * 1e3:.2f} ms vs flat "
+          f"{part['flat_critical_s'] * 1e3:.2f} ms (min of "
+          f"{args.repeats}) — ratio {part_ratio:.2f}x "
+          f"(gate: <= {args.max_partition_ratio:.2f}x); balance "
+          f"{part['balanced_balance_ratio']:.2f} vs "
+          f"{part['flat_balance_ratio']:.2f} max/mean")
+    if part_ratio > args.max_partition_ratio:
+        failures.append(
+            f"curve-balanced deposit critical path costs "
+            f"{part_ratio:.2f}x the flat split on the skewed workload "
+            f"(> {args.max_partition_ratio:.2f}x)"
+        )
+    if part["balanced_balance_ratio"] >= part["flat_balance_ratio"]:
+        failures.append(
+            f"curve-balanced cuts do not improve the balance ratio "
+            f"({part['balanced_balance_ratio']:.2f} >= "
+            f"{part['flat_balance_ratio']:.2f})"
+        )
+
     if args.update_baseline:
         path = ROOT / "BENCH_baseline.json"
         doc = json.loads(path.read_text()) if path.exists() else {
@@ -240,6 +357,7 @@ def main(argv=None):
         }
         for backend, rec in measured.items():
             doc["results"][backend] = rec
+        doc["results"]["partition-gate"] = dict(part, backend=part_backend)
         path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
         print(f"  updated {path}")
 

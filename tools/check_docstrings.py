@@ -31,6 +31,8 @@ TARGET_MODULES = (
     "src/repro/particles/sorting.py",
     "src/repro/core/autotune.py",
     "src/repro/core/deposit.py",
+    "src/repro/parallel/partition.py",
+    "src/repro/perf/datamove.py",
 )
 
 EQUIV_KEYWORDS = (
