@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-service bench bench-gate bench-scaling chaos chaos-service examples results clean docs-check check verify-gate verify-full
+.PHONY: install test test-service test-3d coverage bench bench-gate bench-scaling chaos chaos-service examples results clean docs-check check verify-gate verify-full
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -19,7 +19,18 @@ docs-check:
 test-service:
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_service_engine.py tests/test_service_cli.py tests/test_service_recovery.py
 
-check: docs-check chaos chaos-service bench-gate verify-gate test-service
+# 3D feature-parity subset: kernels/orderings, the parity acceptance
+# tests (fused==split bitwise, numpy-mp deposit bitwise at 2 and 4
+# workers), and 3D checkpoint/resume
+test-3d:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_pic3d.py tests/test_pic3d_parity.py tests/test_checkpoint3d.py tests/test_curves3d.py
+
+# line-coverage floor on repro.pic3d + repro.verify (skips with exit 0
+# when pytest-cov is not installed — the gate never requires an install)
+coverage:
+	$(PYTHON) tools/coverage_gate.py
+
+check: docs-check chaos chaos-service bench-gate verify-gate test-service test-3d coverage
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/
 
 # fault-injection suite under a fixed seed, then assert zero leaked

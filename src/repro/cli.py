@@ -39,21 +39,31 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 _CASES = ("landau", "nonlinear-landau", "two-stream", "bump-on-tail",
-          "gaussian-bump", "uniform")
+          "gaussian-bump", "uniform", "bounded-wall", "beam-plasma",
+          "exb-drift")
 _ORDERINGS = ("row-major", "column-major", "l4d", "morton", "hilbert")
 
 
 def _make_case(name: str, alpha: float | None):
     from repro.particles import (
+        BeamPlasma,
+        BoundedPlasma,
         BumpOnTail,
         GaussianBump,
         LandauDamping,
+        MagnetizedExB,
         TwoStream,
         UniformMaxwellian,
     )
 
     if name == "gaussian-bump":
         return GaussianBump()
+    if name == "bounded-wall":
+        return BoundedPlasma()
+    if name == "beam-plasma":
+        return BeamPlasma(alpha=alpha if alpha is not None else 1e-3)
+    if name == "exb-drift":
+        return MagnetizedExB()
     if name == "landau":
         return LandauDamping(alpha=alpha if alpha is not None else 0.05)
     if name == "nonlinear-landau":

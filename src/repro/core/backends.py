@@ -123,10 +123,18 @@ class KernelBackend(abc.ABC):
     #: * ``"tiled_deposit"`` — :meth:`accumulate_redundant_tiled`, the
     #:   density-aware per-block deposit dispatcher
     #:   (:mod:`repro.core.deposit`), bitwise equal to the serial
-    #:   deposit at any block size and thread count.
+    #:   deposit at any block size and thread count.  Backends with
+    #:   this capability also serve :meth:`accumulate_redundant_tiled_3d`
+    #:   (the same dispatcher over the trilinear kernels).
+    #: * ``"fused3d"`` — :meth:`fused_interp_kick_push_3d`, the 3D
+    #:   single-pass kernel (``stepper3d`` selects its
+    #:   ``fused-backend`` loop path on it).
     #:
     #: The stepper dispatches on these (``supports("fused")`` selects
     #: the fused loop path); physics must be identical either way.
+    #: ``"parallel_deposit"`` covers both the 2D and the 3D
+    #: private-copies kernels (:meth:`accumulate_redundant_parallel` /
+    #: :meth:`accumulate_redundant_parallel_3d`).
     capabilities: frozenset[str] = frozenset()
 
     @classmethod
@@ -257,6 +265,75 @@ class KernelBackend(abc.ABC):
             perm_fn=self.counting_sort_permutation, partition=partition,
         )
 
+    def fused_interp_kick_push_3d(
+        self,
+        fields,
+        particles,
+        ordering,
+        variant,
+        coef=(1.0, 1.0, 1.0),
+        scale=(1.0, 1.0, 1.0),
+    ) -> None:
+        """3D single-pass interpolate + kick + push over all particles.
+
+        ``particles`` is the 3D dict-of-arrays; semantics match running
+        ``interpolate_redundant_3d`` + the three kicks +
+        ``push_positions_3d`` back to back.  Only callable on backends
+        advertising the ``"fused3d"`` capability.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} does not offer the 'fused3d' capability"
+        )
+
+    def accumulate_redundant_parallel_3d(
+        self, rho_1d, icell, dx, dy, dz, charge=1.0
+    ) -> None:
+        """Thread-parallel trilinear scatter (private copies + reduction).
+
+        Must be bitwise equal to :meth:`accumulate_redundant_3d` for
+        any thread count.  Only callable on backends advertising the
+        ``"parallel_deposit"`` capability.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} does not offer the 'parallel_deposit' capability"
+        )
+
+    def accumulate_redundant_tiled_3d(
+        self,
+        rho_1d,
+        icell,
+        dx,
+        dy,
+        dz,
+        charge=1.0,
+        *,
+        block_size,
+        thresholds=(4.0, 64.0),
+        nthreads=1,
+        partition="flat",
+    ) -> dict:
+        """Density-aware tiled 3D deposit (per-block kernel dispatch).
+
+        The trilinear twin of :meth:`accumulate_redundant_tiled`: same
+        binning, same density decision, same bitwise promise against
+        :meth:`accumulate_redundant_3d`.  Gated on the same
+        ``"tiled_deposit"`` capability; the default implementation
+        drives this backend's 3D kernels through the generic dispatcher
+        in :mod:`repro.core.deposit`.
+        """
+        if not self.supports("tiled_deposit"):
+            raise NotImplementedError(
+                f"backend {self.name!r} does not offer the "
+                f"'tiled_deposit' capability"
+            )
+        from repro.core.deposit import accumulate_redundant_tiled_3d
+
+        return accumulate_redundant_tiled_3d(
+            self, rho_1d, icell, dx, dy, dz, charge,
+            block_size=block_size, thresholds=thresholds, nthreads=nthreads,
+            perm_fn=self.counting_sort_permutation, partition=partition,
+        )
+
     def counting_sort_permutation(self, keys, ncells):
         """Stable O(N + C) counting-sort permutation of ``keys``.
 
@@ -302,9 +379,12 @@ class KernelBackend(abc.ABC):
     ) -> None:
         """Advance and wrap a 3D particle dict in place.
 
-        Mirrors :func:`repro.pic3d.kernels3d.push_positions_bitwise_3d`
-        (the 3D engine only ships the bitwise §IV-C3 formulation, but
-        any axis variant is accepted).
+        Mirrors :func:`repro.pic3d.kernels3d.push_positions_bitwise_3d`,
+        with the axis formulation picked by ``variant``.  Writes go
+        through the dict's arrays (``arr[:] = ...``) so the driver is
+        usable on a dict of slice views (the stepper's fused-chunked
+        loop) and on shared-memory arrays already exported to
+        ``numpy-mp`` workers.
         """
         ncx, ncy, ncz = shape
         x = particles["ix"] + particles["dx"] + scale[0] * particles["vx"]
@@ -313,9 +393,13 @@ class KernelBackend(abc.ABC):
         ix, dxo = self.push_axis(np.asarray(x), ncx, variant)
         iy, dyo = self.push_axis(np.asarray(y), ncy, variant)
         iz, dzo = self.push_axis(np.asarray(z), ncz, variant)
-        particles["ix"], particles["iy"], particles["iz"] = ix, iy, iz
-        particles["dx"], particles["dy"], particles["dz"] = dxo, dyo, dzo
-        particles["icell"] = ordering.encode(ix, iy, iz)
+        particles["ix"][:] = ix
+        particles["iy"][:] = iy
+        particles["iz"][:] = iz
+        particles["dx"][:] = dxo
+        particles["dy"][:] = dyo
+        particles["dz"][:] = dzo
+        particles["icell"][:] = ordering.encode(ix, iy, iz)
 
     # ------------------------------------------------------------------
     # Stepper lifecycle hooks (no-ops for in-process backends)
@@ -526,7 +610,7 @@ class NumbaBackend(KernelBackend):
     priority = 20
     degrades_to = "numpy-mp"
     capabilities = frozenset(
-        {"fused", "parallel_deposit", "counting_sort", "tiled_deposit"}
+        {"fused", "fused3d", "parallel_deposit", "counting_sort", "tiled_deposit"}
     )
 
     @classmethod
@@ -719,3 +803,62 @@ class NumbaBackend(KernelBackend):
             ez,
         )
         return ex, ey, ez
+
+    def fused_interp_kick_push_3d(
+        self,
+        fields,
+        particles,
+        ordering,
+        variant,
+        coef=(1.0, 1.0, 1.0),
+        scale=(1.0, 1.0, 1.0),
+    ):
+        if any(np.ndim(c) for c in coef):
+            raise ValueError("fused path requires scalar kick coefficients")
+        if variant not in self._jit.VARIANT_CODES:
+            raise KeyError(f"unknown position-update variant {variant!r}")
+        g = fields.grid
+        ncx, ncy, ncz = g.ncx, g.ncy, g.ncz
+        if variant == "bitwise" and (
+            (ncx & (ncx - 1)) or (ncy & (ncy - 1)) or (ncz & (ncz - 1))
+        ):
+            raise ValueError(
+                f"bitwise wrap requires power-of-two extents, "
+                f"got {ncx} x {ncy} x {ncz}"
+            )
+        p = particles
+        n = len(np.asarray(p["icell"]))
+        ix_out = np.empty(n, dtype=np.int64)
+        iy_out = np.empty(n, dtype=np.int64)
+        iz_out = np.empty(n, dtype=np.int64)
+        code = self._jit.VARIANT_CODES[variant]
+        # dx/dy/dz/vx/vy/vz are read *and written* in place: pass the
+        # dict's arrays directly, copy only the read-only inputs
+        self._jit.fused_redundant_3d_njit(
+            np.ascontiguousarray(fields.e_1d, dtype=np.float64),
+            np.ascontiguousarray(p["icell"], dtype=np.int64),
+            np.ascontiguousarray(p["ix"], dtype=np.int64),
+            np.ascontiguousarray(p["iy"], dtype=np.int64),
+            np.ascontiguousarray(p["iz"], dtype=np.int64),
+            p["dx"], p["dy"], p["dz"], p["vx"], p["vy"], p["vz"],
+            float(coef[0]), float(coef[1]), float(coef[2]),
+            float(scale[0]), float(scale[1]), float(scale[2]),
+            ncx, ncy, ncz, code, ix_out, iy_out, iz_out,
+        )
+        # the space-filling-curve encode is vectorized Python: outside njit
+        p["ix"][:] = ix_out
+        p["iy"][:] = iy_out
+        p["iz"][:] = iz_out
+        p["icell"][:] = ordering.encode(ix_out, iy_out, iz_out)
+
+    def accumulate_redundant_parallel_3d(
+        self, rho_1d, icell, dx, dy, dz, charge=1.0
+    ):
+        self._jit.accumulate_redundant_parallel_3d_njit(
+            rho_1d,
+            np.ascontiguousarray(icell, dtype=np.int64),
+            np.ascontiguousarray(dx, dtype=np.float64),
+            np.ascontiguousarray(dy, dtype=np.float64),
+            np.ascontiguousarray(dz, dtype=np.float64),
+            float(charge),
+        )

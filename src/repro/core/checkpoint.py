@@ -34,13 +34,27 @@ from repro.core.stepper import PICStepper
 from repro.grid.spec import GridSpec
 from repro.particles.storage import make_storage
 
-__all__ = ["save_checkpoint", "load_checkpoint", "CheckpointMismatchError"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_checkpoint_3d",
+    "load_checkpoint_3d",
+    "CheckpointMismatchError",
+]
 
 _FORMAT_VERSION = 1
 
 #: every array key a v1 checkpoint must contain (coords conditional)
 _REQUIRED_ARRAYS = ("icell", "pdx", "pdy", "vx", "vy",
                     "ex_grid", "ey_grid", "rho_grid")
+
+_FORMAT_VERSION_3D = 1
+
+#: every array key a v1 3D checkpoint must contain
+_REQUIRED_ARRAYS_3D = (
+    "icell", "pix", "piy", "piz", "pdx", "pdy", "pdz",
+    "vx", "vy", "vz", "ex_grid", "ey_grid", "ez_grid", "rho_grid",
+)
 
 #: what a torn/truncated/garbage archive surfaces as, depending on
 #: where the corruption sits (zip directory, member header, deflate
@@ -107,6 +121,11 @@ def save_checkpoint(stepper: PICStepper, path, *, compress: bool = False) -> pat
                  stepper.grid.xmin, stepper.grid.xmax,
                  stepper.grid.ymin, stepper.grid.ymax],
         "config": _config_json(stepper.config),
+        # scenario-zoo physics attributes; absent keys on old archives
+        # restore to the plain periodic electrostatic defaults
+        "boundary": stepper.boundary,
+        "bz": stepper.bz,
+        "ext_e": list(stepper.ext_e),
     }
     if path.suffix != ".npz":
         path = path.with_name(path.name + ".npz")
@@ -272,6 +291,11 @@ def _reconstruct(stepper, grid, config, particles, meta, data,
     else:
         stepper.loop_tuner = None
     stepper.iteration = int(meta["iteration"])
+    # scenario-zoo physics: wall boundary, magnetization, drive field
+    # (pre-zoo checkpoints carry none of these -> periodic defaults)
+    stepper.boundary = str(meta.get("boundary", "periodic"))
+    stepper.bz = float(meta.get("bz", 0.0))
+    stepper.ext_e = tuple(float(v) for v in meta.get("ext_e", (0.0, 0.0)))
     stepper._closed = False
     stepper.ex_grid = np.array(data["ex_grid"])
     stepper.ey_grid = np.array(data["ey_grid"])
@@ -290,3 +314,197 @@ def _reconstruct(stepper, grid, config, particles, meta, data,
     except BaseException:
         stepper.close()
         raise
+
+
+# ----------------------------------------------------------------------
+# 3D checkpoints
+# ----------------------------------------------------------------------
+def save_checkpoint_3d(stepper, path, *, compress: bool = False) -> pathlib.Path:
+    """Write a :class:`~repro.pic3d.stepper3d.PICStepper3D`'s state.
+
+    Same atomic tmp-write/fsync/rename discipline as the 2D
+    :func:`save_checkpoint`; the particle dict is stored key by key in
+    the stepper's hoisted units, so a restore (and any numpy-mp
+    relocation inside it) is bit-exact.
+    """
+    path = pathlib.Path(path)
+    p = stepper.particles
+    arrays = {
+        "icell": np.asarray(p["icell"]),
+        "pix": np.asarray(p["ix"]),
+        "piy": np.asarray(p["iy"]),
+        "piz": np.asarray(p["iz"]),
+        "pdx": np.asarray(p["dx"]),
+        "pdy": np.asarray(p["dy"]),
+        "pdz": np.asarray(p["dz"]),
+        "vx": np.asarray(p["vx"]),
+        "vy": np.asarray(p["vy"]),
+        "vz": np.asarray(p["vz"]),
+        "ex_grid": stepper.ex_grid,
+        "ey_grid": stepper.ey_grid,
+        "ez_grid": stepper.ez_grid,
+        "rho_grid": stepper.rho_grid,
+    }
+    g = stepper.grid
+    meta = {
+        "format_version_3d": _FORMAT_VERSION_3D,
+        "iteration": stepper.iteration,
+        "dt": stepper.dt,
+        "q": stepper.q,
+        "m": stepper.m,
+        "weight": stepper.weight,
+        "grid": [g.ncx, g.ncy, g.ncz,
+                 g.xmin, g.xmax, g.ymin, g.ymax, g.zmin, g.zmax],
+        "config": _config_json(stepper.config),
+    }
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    tmp = path.with_name(path.name + ".tmp")
+    writer = np.savez_compressed if compress else np.savez
+    try:
+        with open(tmp, "wb") as fh:
+            writer(fh, _meta=json.dumps(meta), **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:  # pragma: no cover - e.g. directories not fsync-able
+        pass
+    return path
+
+
+def load_checkpoint_3d(path, config: OptimizationConfig | None = None):
+    """Rebuild a :class:`~repro.pic3d.stepper3d.PICStepper3D`.
+
+    ``config`` defaults to the checkpointed one; a different config
+    must be state-compatible (same field layout, ordering and
+    hoisting — the axes that give the stored arrays their meaning).
+    Backend switches are state-compatible, exactly as in 2D.  Raises
+    :class:`CheckpointMismatchError` for anything unusable.
+    """
+    path = pathlib.Path(path)
+    try:
+        npz = np.load(path, allow_pickle=False)
+    except _CORRUPT_ERRORS as exc:
+        raise CheckpointMismatchError(
+            f"checkpoint {path} is unreadable or corrupt: {exc}"
+        ) from exc
+    with npz as data:
+        try:
+            meta = json.loads(str(data["_meta"]))
+        except (KeyError, *_CORRUPT_ERRORS) as exc:
+            raise CheckpointMismatchError(
+                f"checkpoint {path} has a missing or corrupt metadata "
+                f"record: {exc}"
+            ) from exc
+        if meta.get("format_version_3d") != _FORMAT_VERSION_3D:
+            raise CheckpointMismatchError(
+                f"unsupported 3D checkpoint version "
+                f"{meta.get('format_version_3d')}"
+            )
+        missing = [k for k in _REQUIRED_ARRAYS_3D if k not in data.files]
+        if missing:
+            raise CheckpointMismatchError(
+                f"checkpoint {path} is incomplete: missing arrays {missing}"
+            )
+        try:
+            saved_cfg = OptimizationConfig(**json.loads(meta["config"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointMismatchError(
+                f"checkpoint {path} carries an unusable config: {exc}"
+            ) from exc
+        if config is None:
+            config = saved_cfg
+        else:
+            for fld in ("field_layout", "ordering", "ordering_kwargs",
+                        "hoisting"):
+                if getattr(config, fld) != getattr(saved_cfg, fld):
+                    raise CheckpointMismatchError(
+                        f"config field {fld!r} differs from the checkpoint "
+                        f"({getattr(config, fld)!r} vs "
+                        f"{getattr(saved_cfg, fld)!r})"
+                    )
+        try:
+            from repro.pic3d.grid3d import GridSpec3D
+
+            ncx, ncy, ncz, xmin, xmax, ymin, ymax, zmin, zmax = meta["grid"]
+            grid = GridSpec3D(
+                int(ncx), int(ncy), int(ncz),
+                xmin=xmin, xmax=xmax, ymin=ymin, ymax=ymax,
+                zmin=zmin, zmax=zmax,
+            )
+            particles = {
+                "icell": np.array(data["icell"]),
+                "ix": np.array(data["pix"]),
+                "iy": np.array(data["piy"]),
+                "iz": np.array(data["piz"]),
+                "dx": np.array(data["pdx"]),
+                "dy": np.array(data["pdy"]),
+                "dz": np.array(data["pdz"]),
+                "vx": np.array(data["vx"]),
+                "vy": np.array(data["vy"]),
+                "vz": np.array(data["vz"]),
+            }
+        except (KeyError, TypeError, *_CORRUPT_ERRORS) as exc:
+            raise CheckpointMismatchError(
+                f"checkpoint {path} holds inconsistent state: {exc}"
+            ) from exc
+        stepper = _reconstruct_3d(grid, config, particles, meta, data)
+    return stepper
+
+
+def _reconstruct_3d(grid, config, particles, meta, data):
+    """Fill a blank PICStepper3D with checkpointed state (no re-init)."""
+    from repro.core.backends import get_backend
+    from repro.perf.instrument import Instrumentation
+    from repro.pic3d.grid3d import RedundantFields3D
+    from repro.pic3d.poisson3d import SpectralPoissonSolver3D
+    from repro.pic3d.stepper3d import PICStepper3D, _ordering_for
+
+    stepper = PICStepper3D.__new__(PICStepper3D)
+    stepper.grid = grid
+    stepper.config = config
+    stepper.dt = float(meta["dt"])
+    stepper.q = float(meta["q"])
+    stepper.m = float(meta["m"])
+    stepper.weight = float(meta["weight"])
+    stepper.sort_period = int(config.sort_period)
+    stepper.ordering = _ordering_for(config.ordering, grid)
+    stepper.fields = RedundantFields3D(grid, stepper.ordering)
+    stepper.solver = SpectralPoissonSolver3D(grid)
+    stepper.backend = get_backend(config.backend)
+    stepper.instrumentation = Instrumentation()
+    stepper.timings = stepper.instrumentation.timings
+    stepper.phase_hook = None
+    stepper.iteration = int(meta["iteration"])
+    stepper.particles = particles
+    stepper._closed = False
+    stepper.ex_grid = np.array(data["ex_grid"])
+    stepper.ey_grid = np.array(data["ey_grid"])
+    stepper.ez_grid = np.array(data["ez_grid"])
+    stepper.rho_grid = np.array(data["rho_grid"])
+    # reload the stored-unit field rows exactly as _solve left them
+    sx, sy, sz = stepper._field_scales
+    stepper.fields.load_field_from_grid(
+        stepper.ex_grid * sx, stepper.ey_grid * sy, stepper.ez_grid * sz
+    )
+    # backend hook, as in PICStepper3D.__init__: the numpy-mp engine
+    # relocates the restored dict into shared memory here (verbatim
+    # copies, so the restore stays bit-exact)
+    try:
+        stepper.backend.prepare_stepper(stepper)
+    except BaseException:
+        stepper.close()
+        raise
+    return stepper

@@ -71,6 +71,7 @@ __all__ = [
     "DEFAULT_DEPOSIT_THRESHOLDS",
     "choose_deposit_variant",
     "accumulate_redundant_tiled",
+    "accumulate_redundant_tiled_3d",
 ]
 
 #: ``(sparse, dense)`` particles-per-cell defaults: below ``sparse``
@@ -240,6 +241,121 @@ def accumulate_redundant_tiled(
         else:  # parallel
             backend.accumulate_redundant_parallel(
                 rho_1d[lo:hi], sub_icell - lo, sub_dx, sub_dy, charge
+            )
+        executed[v] = executed.get(v, 0) + 1
+    return executed
+
+
+def _deposit_shards_3d(
+    backend, rho_1d, icell, dx, dy, dz, charge, lo, hi, nthreads,
+    partition="flat",
+):
+    """3D twin of :func:`_deposit_shards` — same cell-ownership cut.
+
+    The binning/partition layer never looks at coordinates, only at
+    curve cell indices, so the 2D argument carries over verbatim: the
+    shards own disjoint ``rho_1d`` rows and each receives its cells'
+    particles in global order, hence bitwise-identical to the serial
+    deposit of the block for every ``nthreads`` and partition mode.
+    """
+    from repro.parallel.partition import partition_cells
+
+    ncells = hi - lo
+    hist = None
+    if partition == "curve-balanced":
+        hist = np.bincount(icell - lo, minlength=ncells)
+    for sl in partition_cells(ncells, nthreads, mode=partition, histogram=hist):
+        c_lo, c_hi = lo + sl.start, lo + sl.stop
+        if c_hi <= c_lo:
+            continue
+        mine = np.nonzero((icell >= c_lo) & (icell < c_hi))[0]
+        if mine.size == 0:
+            continue
+        backend.accumulate_redundant_3d(
+            rho_1d[c_lo:c_hi], icell[mine] - c_lo,
+            dx[mine], dy[mine], dz[mine], charge,
+        )
+
+
+def accumulate_redundant_tiled_3d(
+    backend,
+    rho_1d,
+    icell,
+    dx,
+    dy,
+    dz,
+    charge=1.0,
+    *,
+    block_size,
+    thresholds=DEFAULT_DEPOSIT_THRESHOLDS,
+    nthreads=1,
+    perm_fn=None,
+    partition="flat",
+) -> dict:
+    """Density-aware tiled deposit onto the 3D ``rho_1d[ncell][8]``.
+
+    Identical dispatch to :func:`accumulate_redundant_tiled` — blocks
+    are ``block_size`` consecutive cells of the active 3D curve, each
+    deposited serial / sharded / parallel by local density — with the
+    trilinear 8-corner kernels substituted.  The bitwise-equivalence
+    promise (equal to one whole-grid serial
+    ``backend.accumulate_redundant_3d`` for every block size, thread
+    count, partition mode and threshold pair) holds by the same
+    disjoint-rows + stable-binning argument; the differential
+    verifier's 3D rows pin it the same way the 2D rows pin the 2D
+    dispatcher.
+    """
+    if nthreads <= 0:
+        raise ValueError("nthreads must be positive")
+    icell = np.asarray(icell)
+    ncells = int(rho_1d.shape[0])
+    counts = block_histogram(icell, ncells, block_size)
+    executed: dict[str, int] = {}
+    variants = []
+    for b, count in enumerate(counts):
+        lo = b * int(block_size)
+        hi = min(lo + int(block_size), ncells)
+        v = choose_deposit_variant(int(count), hi - lo, thresholds)
+        if v == "parallel" and not backend.supports("parallel_deposit"):
+            v = "shard"
+        if v == "shard" and nthreads == 1:
+            v = "serial"
+        variants.append(v)
+
+    live = [v for v in variants if v is not None]
+    if not live:
+        return executed
+    if all(v == "serial" for v in live):
+        backend.accumulate_redundant_3d(rho_1d, icell, dx, dy, dz, charge)
+        executed["serial"] = len(live)
+        executed["coalesced"] = 1
+        return executed
+
+    bins = bin_particles_by_block(icell, ncells, block_size, perm_fn=perm_fn)
+    dx = np.asarray(dx)
+    dy = np.asarray(dy)
+    dz = np.asarray(dz)
+    for b, v in enumerate(variants):
+        if v is None:
+            continue
+        idx = bins.particles_of(b)
+        lo, hi = bins.cell_range(b)
+        sub_icell = icell[idx]
+        sub_dx = dx[idx]
+        sub_dy = dy[idx]
+        sub_dz = dz[idx]
+        if v == "serial":
+            backend.accumulate_redundant_3d(
+                rho_1d[lo:hi], sub_icell - lo, sub_dx, sub_dy, sub_dz, charge
+            )
+        elif v == "shard":
+            _deposit_shards_3d(
+                backend, rho_1d, sub_icell, sub_dx, sub_dy, sub_dz, charge,
+                lo, hi, nthreads, partition,
+            )
+        else:  # parallel
+            backend.accumulate_redundant_parallel_3d(
+                rho_1d[lo:hi], sub_icell - lo, sub_dx, sub_dy, sub_dz, charge
             )
         executed[v] = executed.get(v, 0) + 1
     return executed

@@ -48,6 +48,9 @@ __all__ = [
     "accumulate_redundant_parallel_njit",
     "accumulate_redundant_shard_njit",
     "counting_sort_permutation_njit",
+    "fused_redundant_3d_njit",
+    "accumulate_redundant_parallel_3d_njit",
+    "accumulate_redundant_shard_3d_njit",
 ]
 
 # `cache=True` persists compiled machine code next to the source so the
@@ -446,3 +449,128 @@ def interpolate_redundant_3d_njit(e_1d, icell, dx, dy, dz, ex, ey, ez):
         ex[p] = sx
         ey[p] = sy
         ez[p] = sz
+
+
+@njit(parallel=True, **_JIT)
+def fused_redundant_3d_njit(
+    e_1d, icell, ix_old, iy_old, iz_old, dx, dy, dz, vx, vy, vz,
+    coef_x, coef_y, coef_z, scale_x, scale_y, scale_z,
+    ncx, ncy, ncz, variant, ix_out, iy_out, iz_out,
+):
+    """3D interpolate + kick + push, one ``prange`` pass.
+
+    Straight generalization of :func:`fused_redundant_njit`: read the
+    24-value field row, kick the three velocity components, advance and
+    wrap each axis with the §IV-C ``variant`` wrap.  Writes the new
+    offsets/velocities in place and the integer coordinates to the
+    ``*_out`` arrays; the caller re-encodes ``icell`` (the space-filling
+    curve encode stays outside ``@njit``).  The gather accumulates
+    corner terms in the same order as
+    :func:`interpolate_redundant_3d_njit`, so fused-vs-split on *this*
+    backend is bitwise; versus the NumPy einsum gather it is
+    tolerance-class, like the 2D fused kernels.
+    """
+    for p in prange(icell.size):
+        c = icell[p]
+        fx = dx[p]
+        fy = dy[p]
+        fz = dz[p]
+        sx = 0.0
+        sy = 0.0
+        sz = 0.0
+        for corner in range(8):
+            wx = fx if corner & 4 else 1.0 - fx
+            wy = fy if corner & 2 else 1.0 - fy
+            wz = fz if corner & 1 else 1.0 - fz
+            w = wx * wy * wz
+            sx += w * e_1d[c, corner]
+            sy += w * e_1d[c, 8 + corner]
+            sz += w * e_1d[c, 16 + corner]
+        if coef_x == 1.0:
+            v_x = vx[p] + sx
+        else:
+            v_x = vx[p] + coef_x * sx
+        if coef_y == 1.0:
+            v_y = vy[p] + sy
+        else:
+            v_y = vy[p] + coef_y * sy
+        if coef_z == 1.0:
+            v_z = vz[p] + sz
+        else:
+            v_z = vz[p] + coef_z * sz
+        vx[p] = v_x
+        vy[p] = v_y
+        vz[p] = v_z
+        x = ix_old[p] + fx + scale_x * v_x
+        y = iy_old[p] + fy + scale_y * v_y
+        z = iz_old[p] + fz + scale_z * v_z
+        i, d = _wrap_axis(x, ncx, variant)
+        j, e = _wrap_axis(y, ncy, variant)
+        k, f = _wrap_axis(z, ncz, variant)
+        ix_out[p] = i
+        iy_out[p] = j
+        iz_out[p] = k
+        dx[p] = d
+        dy[p] = e
+        dz[p] = f
+
+
+@njit(parallel=True, **_JIT)
+def accumulate_redundant_parallel_3d_njit(rho_1d, icell, dx, dy, dz, charge):
+    """Cell-ownership parallel trilinear scatter (8-column rows).
+
+    Same §V-B private-copies + disjoint-row reduction scheme as
+    :func:`accumulate_redundant_parallel_njit`; the per-corner weight
+    arithmetic (``charge * wx * wy * wz``) matches
+    :func:`accumulate_redundant_3d_njit` term for term, so tiled /
+    parallel deposits on the numba backend are bitwise equal to its own
+    serial 3D deposit at any thread count.
+    """
+    nthreads = get_num_threads()
+    ncell = rho_1d.shape[0]
+    priv = np.zeros((nthreads, ncell, 8), dtype=np.float64)
+    for t in prange(nthreads):
+        lo = t * ncell // nthreads
+        hi = (t + 1) * ncell // nthreads
+        for p in range(icell.size):
+            c = icell[p]
+            if lo <= c < hi:
+                fx = dx[p]
+                fy = dy[p]
+                fz = dz[p]
+                for corner in range(8):
+                    wx = fx if corner & 4 else 1.0 - fx
+                    wy = fy if corner & 2 else 1.0 - fy
+                    wz = fz if corner & 1 else 1.0 - fz
+                    priv[t, c, corner] += charge * wx * wy * wz
+        for c in range(lo, hi):
+            for k in range(8):
+                rho_1d[c, k] += priv[t, c, k]
+
+
+@njit(**_JIT)
+def accumulate_redundant_shard_3d_njit(
+    rho_1d, icell, dx, dy, dz, charge, cell_lo, cell_hi
+):
+    """Serial 3D deposit of one owned cell range ``[cell_lo, cell_hi)``.
+
+    The ``numpy-mp`` 3D worker's inner loop.  Unlike the numba
+    backend's serial kernel this one multiplies ``charge`` *last*
+    (``((wx*wy)*wz) * charge``), because it must bitwise-match the
+    NumPy :func:`repro.pic3d.kernels3d.accumulate_redundant_3d` weights
+    (``corner_weights_3d(...) * charge``) — a pool mixing njit and
+    NumPy workers, or a crashed shard retried serially in the parent,
+    must stay bitwise reproducible against the serial NumPy deposit.
+    """
+    for p in range(icell.size):
+        c = icell[p]
+        if cell_lo <= c < cell_hi:
+            r = c - cell_lo
+            fx = dx[p]
+            fy = dy[p]
+            fz = dz[p]
+            for corner in range(8):
+                wx = fx if corner & 4 else 1.0 - fx
+                wy = fy if corner & 2 else 1.0 - fy
+                wz = fz if corner & 1 else 1.0 - fz
+                rho_1d[r, corner] += ((wx * wy) * wz) * charge

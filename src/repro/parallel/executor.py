@@ -43,7 +43,7 @@ from repro.core import kernels as _k
 from repro.core.backends import NumpyBackend, register_backend
 from repro.curves.base import get_ordering
 from repro.parallel.openmp import partition_range
-from repro.parallel.partition import PartitionPlanner
+from repro.parallel.partition import PartitionPlanner, partition_cells
 from repro.parallel.shm import (
     SharedArena,
     SharedGrid,
@@ -55,6 +55,7 @@ from repro.particles.storage import ParticleSoA
 __all__ = [
     "WorkerPool",
     "ShmEngine",
+    "ShmEngine3D",
     "MultiprocessBackend",
     "PoolUnrecoverableError",
 ]
@@ -196,6 +197,64 @@ def _exec_deposit(slab, icell, dx, dy, cell_lo, cell_hi, charge):
     )
 
 
+#: Resolved 3D shard-deposit kernel (lazy, same policy as 2D).
+_SHARD_DEPOSIT_3D = None
+
+
+def _shard_deposit_kernel_3d():
+    """The 3D shard-deposit kernel this process uses (resolved once).
+
+    Mirrors :func:`_shard_deposit_kernel`: the compiled
+    :func:`~repro.core.njit_kernels.accumulate_redundant_shard_3d_njit`
+    when numba is importable, else the NumPy
+    :func:`~repro.pic3d.kernels3d.accumulate_redundant_shard_3d`.  Both
+    multiply each corner weight as ``((wx*wy)*wz)*charge`` — the NumPy
+    deposit's association — so a pool may freely mix the two (parent
+    serial retries vs. worker shards) and stay bitwise consistent.
+    ``REPRO_MP_NJIT=0`` pins the NumPy kernel.
+    """
+    global _SHARD_DEPOSIT_3D
+    if _SHARD_DEPOSIT_3D is None:
+        kernel = None
+        if os.environ.get("REPRO_MP_NJIT", "1") != "0":
+            try:
+                from repro.core.njit_kernels import (
+                    accumulate_redundant_shard_3d_njit,
+                )
+
+                kernel = accumulate_redundant_shard_3d_njit
+            except Exception:
+                _log.debug("njit 3D shard deposit unavailable", exc_info=True)
+        if kernel is None:
+            from repro.pic3d.kernels3d import accumulate_redundant_shard_3d
+
+            kernel = accumulate_redundant_shard_3d
+        _SHARD_DEPOSIT_3D = kernel
+    return _SHARD_DEPOSIT_3D
+
+
+def _exec_deposit_3d(slab, icell, dx, dy, dz, cell_lo, cell_hi, charge):
+    """3D twin of :func:`_exec_deposit`: one owned cell range into a slab.
+
+    Same cell-ownership argument: the owned particles are selected in
+    index order, so each 8-corner slab row holds bitwise the terms the
+    serial whole-grid deposit would put in the matching ``rho_1d`` row.
+    Re-zeroing the live prefix first keeps retries idempotent.
+    """
+    nrows = cell_hi - cell_lo
+    slab[:nrows] = 0.0
+    _shard_deposit_kernel_3d()(
+        slab[:nrows],
+        np.asarray(icell, dtype=np.int64),
+        np.asarray(dx, dtype=np.float64),
+        np.asarray(dy, dtype=np.float64),
+        np.asarray(dz, dtype=np.float64),
+        float(charge),
+        int(cell_lo),
+        int(cell_hi),
+    )
+
+
 def _cached_ordering(spec, cache):
     ordering = cache.get(spec)
     if ordering is None:
@@ -230,6 +289,11 @@ def _execute(op, msg, seg_cache, ordering_cache):
     elif op == "deposit2d":
         _exec_deposit(
             arrs["slab"], arrs["icell"], arrs["dx"], arrs["dy"],
+            msg["cell_lo"], msg["cell_hi"], msg["charge"],
+        )
+    elif op == "deposit3d":
+        _exec_deposit_3d(
+            arrs["slab"], arrs["icell"], arrs["dx"], arrs["dy"], arrs["dz"],
             msg["cell_lo"], msg["cell_hi"], msg["charge"],
         )
     elif op == "ping":
@@ -737,6 +801,115 @@ class ShmEngine:
         self.arena.close()
 
 
+class ShmEngine3D:
+    """Deposit-only shared-memory engine for the 3D stepper.
+
+    The 3D stepper keeps its particles as a plain dict of arrays and
+    its gather/kick/push loops are cheap NumPy sweeps; the deposit is
+    the phase worth fanning out (and the one whose bitwise promise the
+    cell-ownership scheme buys).  Construction relocates the deposit's
+    input arrays — ``icell, dx, dy, dz`` — into shared memory by
+    rebinding the dict keys once; every later stepper write goes
+    *through* those arrays (``arr[:] = ...`` discipline in the 3D
+    kernels and sort), so workers always see current state without any
+    per-step copying.  Private ``(nalloc, 8)`` slabs per worker, static
+    cell cuts from :func:`~repro.parallel.partition.partition_cells`
+    (mode from ``OptimizationConfig.partition``), parent-side reduce in
+    worker order: bitwise-identical to the serial deposit at any worker
+    count, same argument as 2D.
+
+    ``rho_1d`` itself stays in parent memory — only the parent reduces
+    into it, so it never needs to cross a process boundary.
+    """
+
+    def __init__(self, stepper, nworkers=None, task_timeout=None):
+        cfg = stepper.config
+        if nworkers is None:
+            nworkers = getattr(cfg, "workers", None) or os.cpu_count() or 1
+        self.nworkers = max(1, int(nworkers))
+        if task_timeout is None:
+            task_timeout = getattr(cfg, "mp_task_timeout", 60.0)
+        self.task_timeout = float(task_timeout)
+
+        self.arena = SharedArena()
+        p = stepper.particles
+        for key in ("icell", "dx", "dy", "dz"):
+            p[key] = self.arena.share_copy(np.asarray(p[key]))
+        self.icell = p["icell"]
+        self.n = int(self.icell.shape[0])
+        self.rho_target = stepper.fields.rho_1d
+        nalloc = int(self.rho_target.shape[0])
+        self.nalloc = nalloc
+
+        mode = getattr(cfg, "partition", "flat")
+        hist0 = None
+        if mode == "curve-balanced":
+            hist0 = np.bincount(
+                np.asarray(self.icell, dtype=np.int64), minlength=nalloc
+            )
+        self.cell_ranges = partition_cells(
+            nalloc, self.nworkers, mode=mode, histogram=hist0
+        )
+        self.slabs = [
+            self.arena.alloc((nalloc, 8)) for _ in range(self.nworkers)
+        ]
+        self.instrumentation = stepper.instrumentation
+        self.pool = WorkerPool(self.nworkers, timeout=self.task_timeout)
+        self.max_failure_streak = 3
+        self._failure_streak = 0
+        self.unrecoverable = False
+        self._closed = False
+        _LIVE_ENGINES.append(self)
+        atexit.register(self.close)
+
+    # the dispatch/retry policy and helpers are dimension-agnostic;
+    # borrow them from the 2D engine rather than duplicating the logic
+    _spec = ShmEngine._spec
+    _dispatch = ShmEngine._dispatch
+    ping = ShmEngine.ping
+    fallbacks = ShmEngine.fallbacks
+
+    def accumulate_redundant_3d(self, icell, dx, dy, dz, charge) -> None:
+        """Cell-ownership deposit into the stepper's ``rho_1d``."""
+        specs_base = self._spec(icell=icell, dx=dx, dy=dy, dz=dz)
+        shards, active = [], []
+        for wid, cr in enumerate(self.cell_ranges):
+            if cr.stop <= cr.start:
+                continue
+            active.append(wid)
+            specs = dict(specs_base)
+            specs["slab"] = self.arena.spec_for(self.slabs[wid])
+            shards.append((wid, {
+                "op": "deposit3d", "cell_lo": cr.start, "cell_hi": cr.stop,
+                "charge": float(charge), "arrays": specs,
+            }))
+        failed = self._dispatch("accumulate", shards)
+        for wid, msg in failed:
+            _exec_deposit_3d(
+                self.slabs[wid], icell, dx, dy, dz,
+                msg["cell_lo"], msg["cell_hi"], float(charge),
+            )
+        for wid in sorted(active):
+            cr = self.cell_ranges[wid]
+            self.rho_target[cr] += self.slabs[wid][: cr.stop - cr.start]
+
+    def close(self) -> None:
+        """Shut the pool down and unlink every shared segment."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            _LIVE_ENGINES.remove(self)
+        except ValueError:  # pragma: no cover
+            pass
+        try:
+            atexit.unregister(self.close)
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+        self.pool.close()
+        self.arena.close()
+
+
 def _engine_owning(*arrays):
     for eng in _LIVE_ENGINES:
         if eng.arena.owns(*arrays):
@@ -755,9 +928,13 @@ class MultiprocessBackend(NumpyBackend):
     arrays belong to a live :class:`ShmEngine` (i.e. came from a
     prepared stepper in split-loop redundant-SoA mode) are dispatched
     to the pool, everything else — direct kernel calls, fused-mode
-    chunk views, standard/AoS layouts, the 3D stepper — runs serially
-    with identical results.  Deliberately the *lowest* priority so
-    ``"auto"`` never picks it; multiprocessing is opt-in.
+    chunk views, standard/AoS layouts — runs serially with identical
+    results.  A 3D stepper (``redundant3d`` fields + dict particles)
+    gets a deposit-only :class:`ShmEngine3D`: its whole-grid deposit
+    fans out by cell ownership while gather/kick/push stay serial, and
+    any loop mode qualifies because the 3D fused-chunked path defers
+    its single deposit past the chunk loop.  Deliberately the *lowest*
+    priority so ``"auto"`` never picks it; multiprocessing is opt-in.
     """
 
     name = "numpy-mp"
@@ -789,6 +966,21 @@ class MultiprocessBackend(NumpyBackend):
     # -- stepper lifecycle ----------------------------------------------
     def prepare_stepper(self, stepper) -> None:
         cfg = stepper.config
+        if getattr(stepper.fields, "layout", None) == "redundant3d":
+            try:
+                engine = ShmEngine3D(stepper)
+            except OSError as exc:  # pragma: no cover - no /dev/shm etc.
+                _log.warning(
+                    "numpy-mp: shared memory unavailable (%s); running 3D "
+                    "deposit serially", exc,
+                )
+                return
+            self._engines[id(stepper)] = engine
+            _log.info(
+                "numpy-mp 3D deposit engine: %d workers, task timeout %.1fs",
+                engine.nworkers, engine.task_timeout,
+            )
+            return
         eligible = (
             stepper.fields.layout == "redundant"
             and isinstance(stepper.particles, ParticleSoA)
@@ -848,6 +1040,18 @@ class MultiprocessBackend(NumpyBackend):
         ):
             return _k.accumulate_redundant(rho_1d, icell, dx, dy, charge)
         eng.accumulate_redundant(icell, dx, dy, charge)
+
+    def accumulate_redundant_3d(self, rho_1d, icell, dx, dy, dz, charge=1.0):
+        eng = _engine_owning(icell, dx, dy, dz)
+        if (
+            eng is None
+            or rho_1d is not getattr(eng, "rho_target", None)
+            or len(icell) != eng.n
+        ):
+            return super().accumulate_redundant_3d(
+                rho_1d, icell, dx, dy, dz, charge
+            )
+        eng.accumulate_redundant_3d(icell, dx, dy, dz, charge)
 
     def push_positions(
         self, particles, ncx, ncy, ordering, variant, scale_x=1.0, scale_y=1.0

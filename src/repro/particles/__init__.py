@@ -21,10 +21,13 @@ from repro.particles.storage import (
     make_storage,
 )
 from repro.particles.initializers import (
+    BeamPlasma,
+    BoundedPlasma,
     BumpOnTail,
     GaussianBump,
     InitialCondition,
     LandauDamping,
+    MagnetizedExB,
     TwoStream,
     UniformMaxwellian,
     halton_sequence,
@@ -50,6 +53,9 @@ __all__ = [
     "BumpOnTail",
     "GaussianBump",
     "UniformMaxwellian",
+    "BoundedPlasma",
+    "BeamPlasma",
+    "MagnetizedExB",
     "halton_sequence",
     "sample_perturbed_positions",
     "load_particles",

@@ -33,6 +33,9 @@ __all__ = [
     "BumpOnTail",
     "GaussianBump",
     "UniformMaxwellian",
+    "BoundedPlasma",
+    "BeamPlasma",
+    "MagnetizedExB",
     "halton_sequence",
     "sample_perturbed_positions",
     "load_particles",
@@ -322,6 +325,146 @@ class GaussianBump(InitialCondition):
 
     def default_grid(self):
         return GridSpec(64, 64, 0.0, 4 * np.pi, 0.0, 4 * np.pi)
+
+
+@dataclass(frozen=True)
+class BoundedPlasma(InitialCondition):
+    """A plasma slab between reflecting walls (§VI boundary outlook).
+
+    The case carries ``boundary="reflecting"`` — the stepper reads the
+    attribute and swaps the periodic position kernel for the
+    triangle-wave fold of :mod:`repro.core.boundaries`.  Particles
+    start in a central slab covering ``slab_frac`` of the box along x
+    (uniform along y), so the population expands, hits the walls and
+    bounces; the acceptance oracle holds the bounce dynamics to two
+    invariants — the center of charge stays at the box center and the
+    total energy stays bounded.  The field solve remains the periodic
+    spectral solver (a documented approximation: the oracle's
+    quantities are wall-bounce invariants, not sheath physics).
+
+    Halton bases 29/31 for the positions keep the quiet start
+    uncorrelated with the velocity bases (7, 11).
+    """
+
+    vth: float = 1.0
+    slab_frac: float = 0.5
+    boundary: str = "reflecting"
+
+    def __post_init__(self):
+        if not 0.0 < self.slab_frac <= 1.0:
+            raise ValueError("slab_frac must be in (0, 1]")
+
+    def sample(self, n, grid, rng=None, quiet=False):
+        margin = 0.5 * (1.0 - self.slab_frac)
+        if quiet:
+            ux = halton_sequence(n, 29)
+            uy = halton_sequence(n, 31)
+        else:
+            ux = rng.random(n)
+            uy = rng.random(n)
+        x = grid.xmin + grid.lx * (margin + self.slab_frac * ux)
+        y = grid.ymin + grid.ly * uy
+        vx, vy = _maxwellian(n, self.vth, rng, quiet)
+        return x, y, vx, vy
+
+    def default_grid(self):
+        return GridSpec(64, 16, 0.0, 4 * np.pi, 0.0, 2 * np.pi)
+
+
+@dataclass(frozen=True)
+class BeamPlasma(InitialCondition):
+    """Beam–plasma instability: warm bulk plus a weak cold fast beam.
+
+    ``f = (1-n_b) M(v; vth) + n_b M(v - v_b; vth_b)`` with a cold,
+    fast beam (``vth_b << vth``, ``v_b`` several thermal speeds).
+    Distinct from :class:`BumpOnTail` — the beam here is cold enough
+    that the system sits in the *reactive* (cold-beam) regime, whose
+    growth rate has the closed form
+    ``gamma = (sqrt(3)/2) (n_b/2)^(1/3) omega_p`` at the resonant
+    wavenumber ``k ~ omega_p / v_b``; the default box (Lx = 10*pi,
+    mode 1) puts k = 0.2 at resonance for ``v_b = 5``.
+
+    Halton bases: selector 29, beam velocities 31/37 — disjoint from
+    the position bases (2, 3) and the bulk velocity bases (7, 11).
+    """
+
+    n_beam: float = 0.1
+    v_beam: float = 5.0
+    vth: float = 1.0
+    vth_beam: float = 0.1
+    alpha: float = 1e-3
+    mode: int = 1
+
+    def __post_init__(self):
+        if not 0.0 < self.n_beam < 1.0:
+            raise ValueError("n_beam must be in (0, 1)")
+
+    def kx(self, grid: GridSpec) -> float:
+        return 2 * np.pi * self.mode / grid.lx
+
+    def sample(self, n, grid, rng=None, quiet=False):
+        x = grid.xmin + sample_perturbed_positions(
+            n, grid.lx, self.alpha, self.kx(grid), rng, quiet
+        )
+        if quiet:
+            y = grid.ymin + grid.ly * halton_sequence(n, 3)
+            in_beam = halton_sequence(n, 29) < self.n_beam
+        else:
+            y = grid.ymin + grid.ly * rng.random(n)
+            in_beam = rng.random(n) < self.n_beam
+        vx, vy = _maxwellian(n, self.vth, rng, quiet)
+        vxb, _ = _maxwellian(n, self.vth_beam, rng, quiet, bases=(31, 37))
+        vx = np.where(in_beam, self.v_beam + vxb, vx)
+        return x, y, vx, vy
+
+    def default_grid(self):
+        # resonance: k = omega_p / v_beam = 0.2 -> Lx = 2*pi/k = 10*pi
+        return GridSpec(64, 16, 0.0, 10 * np.pi, 0.0, 2 * np.pi)
+
+
+@dataclass(frozen=True)
+class MagnetizedExB(InitialCondition):
+    """Uniform magnetized plasma in crossed fields: the E×B drift.
+
+    The case carries ``bz`` (uniform external magnetic field) and
+    ``ext_e`` (uniform external electric field) — the stepper reads
+    both attributes and runs the Boris velocity rotation.  A spatially
+    uniform population keeps the self-consistent field at noise level,
+    so every particle gyrates about a guiding center drifting at the
+    charge-independent ``v_d = E x B / B^2 = (0, -ex0/bz)``; the
+    acceptance oracle time-averages the population's mean ``vy`` over
+    whole gyroperiods and holds it to that closed form.
+    """
+
+    vth: float = 0.5
+    bz: float = 1.0
+    ex0: float = 0.2
+
+    def __post_init__(self):
+        if self.bz == 0.0:
+            raise ValueError("bz must be nonzero for a magnetized case")
+
+    @property
+    def ext_e(self) -> tuple[float, float]:
+        return (self.ex0, 0.0)
+
+    @property
+    def drift_velocity(self) -> tuple[float, float]:
+        """The E×B drift ``(0, -ex0/bz)`` the oracle checks against."""
+        return (0.0, -self.ex0 / self.bz)
+
+    def sample(self, n, grid, rng=None, quiet=False):
+        if quiet:
+            x = grid.xmin + grid.lx * halton_sequence(n, 2)
+            y = grid.ymin + grid.ly * halton_sequence(n, 3)
+        else:
+            x = grid.xmin + grid.lx * rng.random(n)
+            y = grid.ymin + grid.ly * rng.random(n)
+        vx, vy = _maxwellian(n, self.vth, rng, quiet)
+        return x, y, vx, vy
+
+    def default_grid(self):
+        return GridSpec(32, 32, 0.0, 4 * np.pi, 0.0, 4 * np.pi)
 
 
 def load_particles(

@@ -22,12 +22,19 @@ from repro.pic3d.ordering3d import Morton3DOrdering, Ordering3D, RowMajor3DOrder
 from repro.pic3d.grid3d import GridSpec3D, RedundantFields3D
 from repro.pic3d.kernels3d import (
     accumulate_redundant_3d,
+    accumulate_redundant_shard_3d,
     corner_weights_3d,
+    fused_interp_kick_push_3d,
     interpolate_redundant_3d,
     push_positions_bitwise_3d,
 )
 from repro.pic3d.poisson3d import SpectralPoissonSolver3D
-from repro.pic3d.stepper3d import LandauDamping3D, PICStepper3D, TwoStream3D
+from repro.pic3d.stepper3d import (
+    PARTICLE_KEYS_3D,
+    LandauDamping3D,
+    PICStepper3D,
+    TwoStream3D,
+)
 
 __all__ = [
     "Ordering3D",
@@ -37,10 +44,13 @@ __all__ = [
     "RedundantFields3D",
     "corner_weights_3d",
     "accumulate_redundant_3d",
+    "accumulate_redundant_shard_3d",
+    "fused_interp_kick_push_3d",
     "interpolate_redundant_3d",
     "push_positions_bitwise_3d",
     "SpectralPoissonSolver3D",
     "PICStepper3D",
+    "PARTICLE_KEYS_3D",
     "LandauDamping3D",
     "TwoStream3D",
 ]

@@ -13,7 +13,9 @@ import numpy as np
 __all__ = [
     "corner_weights_3d",
     "accumulate_redundant_3d",
+    "accumulate_redundant_shard_3d",
     "interpolate_redundant_3d",
+    "fused_interp_kick_push_3d",
     "push_positions_bitwise_3d",
 ]
 
@@ -41,6 +43,28 @@ def accumulate_redundant_3d(rho_1d, icell, dx, dy, dz, charge=1.0) -> None:
     flat += np.bincount(flat_idx.ravel(), weights=w.ravel(), minlength=flat.size)
 
 
+def accumulate_redundant_shard_3d(
+    rho_rows, icell, dx, dy, dz, charge, cell_lo, cell_hi
+) -> None:
+    """Deposit one owned cell range ``[cell_lo, cell_hi)`` into a slab.
+
+    The ``numpy-mp`` 3D worker's deposit: select the particles whose
+    home cell falls in the owned range (``flatnonzero`` preserves
+    particle order), shift their cell indices to slab rows, and run the
+    ordinary serial deposit on the subset.  Because the ranges are
+    disjoint and ``bincount`` accumulates in input order, each slab row
+    is bitwise equal to the corresponding rows of one whole-grid serial
+    deposit — the cell-ownership argument, unchanged from 2D.
+    """
+    icell = np.asarray(icell, dtype=np.int64)
+    mine = np.flatnonzero((icell >= cell_lo) & (icell < cell_hi))
+    if mine.size == 0:
+        return
+    accumulate_redundant_3d(
+        rho_rows, icell[mine] - cell_lo, dx[mine], dy[mine], dz[mine], charge
+    )
+
+
 def interpolate_redundant_3d(e_1d, icell, dx, dy, dz):
     """Gather (Ex, Ey, Ez) at particles from the 24-column rows."""
     rows = e_1d[np.asarray(icell, dtype=np.int64)]  # (N, 24)
@@ -63,7 +87,11 @@ def push_positions_bitwise_3d(particles, shape, ordering, scale=(1.0, 1.0, 1.0))
 
     ``particles`` is a plain dict of arrays (the 3D engine keeps SoA as
     a dict rather than a class — the layout study lives in 2D):
-    keys ``icell, ix, iy, iz, dx, dy, dz, vx, vy, vz``.
+    keys ``icell, ix, iy, iz, dx, dy, dz, vx, vy, vz``.  Writes go
+    *through* the dict's arrays (``arr[:] = ...``) rather than
+    rebinding the keys, so the same code path works on a dict of slice
+    views (the fused-chunked loop) and on shared-memory arrays a
+    ``numpy-mp`` deposit engine has already exported to its workers.
     """
     ncx, ncy, ncz = shape
     x = particles["ix"] + particles["dx"] + scale[0] * particles["vx"]
@@ -72,6 +100,38 @@ def push_positions_bitwise_3d(particles, shape, ordering, scale=(1.0, 1.0, 1.0))
     ix, dxo = _axis_bitwise(x, ncx)
     iy, dyo = _axis_bitwise(y, ncy)
     iz, dzo = _axis_bitwise(z, ncz)
-    particles["ix"], particles["iy"], particles["iz"] = ix, iy, iz
-    particles["dx"], particles["dy"], particles["dz"] = dxo, dyo, dzo
-    particles["icell"] = ordering.encode(ix, iy, iz)
+    particles["ix"][:] = ix
+    particles["iy"][:] = iy
+    particles["iz"][:] = iz
+    particles["dx"][:] = dxo
+    particles["dy"][:] = dyo
+    particles["dz"][:] = dzo
+    particles["icell"][:] = ordering.encode(ix, iy, iz)
+
+
+def fused_interp_kick_push_3d(
+    e_1d, particles, shape, ordering,
+    coef=(1.0, 1.0, 1.0), scale=(1.0, 1.0, 1.0), push=None,
+):
+    """One fused sweep: gather E, kick v, advance + wrap x — 3D.
+
+    The NumPy port of the paper's single-pass loop for the 3D stepper's
+    ``fused-chunked`` path: ``particles`` may be a dict of slice views
+    into a larger population, so a chunk's record is touched once while
+    hot.  Every operation is elementwise per particle and reuses the
+    exact split-path kernels (:func:`interpolate_redundant_3d`, the
+    same push), so running this per chunk is bitwise identical to the
+    split path at *any* chunk size — unlike 2D, where per-chunk
+    deposits re-associate the charge sums, the 3D stepper defers its
+    single whole-grid deposit until after the chunk loop.
+
+    ``push`` lets the caller substitute the backend's variant-aware
+    position driver; the default is the bitwise wrap.
+    """
+    ex, ey, ez = interpolate_redundant_3d(
+        e_1d, particles["icell"], particles["dx"], particles["dy"], particles["dz"]
+    )
+    particles["vx"] += coef[0] * ex
+    particles["vy"] += coef[1] * ey
+    particles["vz"] += coef[2] * ez
+    (push or push_positions_bitwise_3d)(particles, shape, ordering, scale)

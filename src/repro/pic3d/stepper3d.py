@@ -1,24 +1,48 @@
-"""Minimal 3d3v leap-frog PIC stepper on the Morton-ordered layout.
+"""Config-driven 3d3v leap-frog PIC stepper on redundant cell rows.
 
-A compact but complete 3D engine: quiet-start Landau loading, hoisted
-units (velocities stored as grid displacement per step, field rows
-pre-scaled), redundant 8-corner deposit/gather, bitwise periodic push,
-spectral solve.  Physics validation mirrors the 2D suite: energy
-conservation and Landau decay of the perturbed mode.
+Capability parity with the 2D :class:`repro.core.stepper.PICStepper`:
+the same ``_select_loop_path`` dispatch (``split`` /
+``fused-backend`` / ``fused-chunked``), the density-aware tiled
+deposit, the ``parallel_deposit`` and ``fused3d`` backend
+capabilities, phase hooks for the differential verifier, and the
+``numpy-mp`` cell-ownership deposit — all over the trilinear 8-corner
+kernels of :mod:`repro.pic3d.kernels3d`.
+
+Two deliberate divergences from 2D, both in the service of bitwise
+verification:
+
+* the 3D stepper only implements *hoisted* units (velocities stored
+  as grid displacement per step, field rows pre-scaled by
+  ``q*dt^2/(m*spacing)``) — the hoisting study itself lives in 2D;
+* the ``fused-chunked`` path runs interpolate+kick+push per chunk but
+  defers one whole-grid deposit until after the chunk loop, so the
+  fused path is **bitwise identical to the split path at every
+  population size** (2D deposits per chunk, which re-associates the
+  charge sums once ``n > chunk_size``).  Every operation before the
+  deposit is elementwise per particle, so chunking cannot change a
+  single bit.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.backends import get_backend
+from repro.core.backends import KernelBackend, get_backend
+from repro.core.config import OptimizationConfig
 from repro.particles.initializers import halton_sequence, sample_perturbed_positions
 from repro.perf.instrument import Instrumentation
 from repro.pic3d.grid3d import GridSpec3D, RedundantFields3D
-from repro.pic3d.ordering3d import Morton3DOrdering, Ordering3D
+from repro.pic3d.kernels3d import fused_interp_kick_push_3d
+from repro.pic3d.ordering3d import Morton3DOrdering, Ordering3D, RowMajor3DOrdering
 from repro.pic3d.poisson3d import SpectralPoissonSolver3D
 
 __all__ = ["LandauDamping3D", "TwoStream3D", "PICStepper3D"]
+
+#: per-particle arrays of the dict-of-arrays 3D storage (the order the
+#: checkpoint format and the differential verifier iterate them in)
+PARTICLE_KEYS_3D = (
+    "icell", "ix", "iy", "iz", "dx", "dy", "dz", "vx", "vy", "vz",
+)
 
 
 class LandauDamping3D:
@@ -79,12 +103,30 @@ class TwoStream3D:
         return x, y, z, normal(7) + beam, normal(13), normal(19)
 
 
-class PICStepper3D:
-    """Leap-frog 3d3v Vlasov–Poisson stepper (hoisted units, Morton layout).
+def _ordering_for(name: str, grid: GridSpec3D) -> Ordering3D:
+    """Map a 2D-config ordering name onto the two 3D curves.
 
-    ``backend`` selects the kernel execution strategy by name
-    (:mod:`repro.core.backends`); per-phase wall-clock timings are
-    recorded on :attr:`instrumentation` exactly as in the 2D stepper.
+    3D ships exactly two orderings; ``"row-major"`` (and its transpose
+    twin) map to the row-major curve, every space-filling-curve name
+    maps to Morton — the closest 3D analogue of each.
+    """
+    if name in ("row-major", "column-major", "row-major-3d"):
+        return RowMajor3DOrdering(*grid.shape)
+    return Morton3DOrdering(*grid.shape)
+
+
+class PICStepper3D:
+    """Leap-frog 3d3v Vlasov–Poisson stepper (hoisted units).
+
+    Parameters mirror the legacy constructor; a full
+    :class:`~repro.core.config.OptimizationConfig` may be supplied via
+    ``config`` to drive loop-path dispatch, tiled deposit, sorting and
+    backend selection exactly as in 2D (``backend``/``sort_period``
+    are then taken from the config and the legacy kwargs ignored).
+    Particles are a plain dict of arrays keyed by
+    :data:`PARTICLE_KEYS_3D`; all kernels write *through* those arrays
+    so a ``numpy-mp`` engine can relocate them into shared memory
+    once, in :meth:`~repro.core.backends.KernelBackend.prepare_stepper`.
     """
 
     def __init__(
@@ -98,20 +140,42 @@ class PICStepper3D:
         ordering: Ordering3D | None = None,
         sort_period: int = 20,
         backend: str = "auto",
+        config: OptimizationConfig | None = None,
     ):
-        if not grid.pow2:
+        if config is None:
+            config = OptimizationConfig(
+                field_layout="redundant",
+                ordering="morton",
+                loop_mode="split",
+                position_update="bitwise",
+                hoisting=True,
+                sort_period=int(sort_period),
+                backend=backend,
+            )
+        if not config.hoisting:
+            raise ValueError("the 3D stepper only implements hoisted units")
+        if config.field_layout != "redundant":
+            raise ValueError("the 3D stepper only implements the redundant layout")
+        if config.position_update == "bitwise" and not grid.pow2:
             raise ValueError("the bitwise push requires power-of-two dims")
         self.grid = grid
+        self.config = config
         self.dt = float(dt)
         self.q = float(q)
         self.m = float(m)
-        self.sort_period = int(sort_period)
-        self.ordering = ordering or Morton3DOrdering(*grid.shape)
+        self.sort_period = int(config.sort_period)
+        self.ordering = ordering or _ordering_for(config.ordering, grid)
         self.fields = RedundantFields3D(grid, self.ordering)
         self.solver = SpectralPoissonSolver3D(grid)
-        self.backend = get_backend(backend)
+        self.backend: KernelBackend = get_backend(config.backend)
         self.instrumentation = Instrumentation()
         self.timings = self.instrumentation.timings
+        #: optional ``hook(phase_name, stepper)`` — same contract as the
+        #: 2D stepper's: called after ``"sort"``, the particle-loop
+        #: phases (``"update_v"``/``"update_x"``/``"accumulate"`` when
+        #: split, ``"fused"``/``"accumulate"`` otherwise) and
+        #: ``"solve"``; hooks must not mutate stepper state.
+        self.phase_hook = None
         self.iteration = 0
 
         x, y, z, vx, vy, vz = case.sample(n_particles, grid)
@@ -131,15 +195,31 @@ class PICStepper3D:
             "vx": vx * self.dt / dx, "vy": vy * self.dt / dy, "vz": vz * self.dt / dz,
         }
         self._sort()
-        self._deposit_and_solve()
-        # leap-frog stagger: half kick backwards
-        ex, ey, ez = self.backend.interpolate_redundant_3d(
-            self.fields.e_1d, self.particles["icell"],
-            self.particles["dx"], self.particles["dy"], self.particles["dz"],
-        )
-        self.particles["vx"] -= 0.5 * ex
-        self.particles["vy"] -= 0.5 * ey
-        self.particles["vz"] -= 0.5 * ez
+        self._closed = False
+        # backend hook before the first kernel call, exactly as in 2D:
+        # the numpy-mp engine relocates the deposit inputs into shared
+        # memory here, so the t=0 deposit below already runs through it.
+        try:
+            self.backend.prepare_stepper(self)
+            self._deposit_and_solve()
+            # leap-frog stagger: half kick backwards
+            ex, ey, ez = self.backend.interpolate_redundant_3d(
+                self.fields.e_1d, self.particles["icell"],
+                self.particles["dx"], self.particles["dy"], self.particles["dz"],
+            )
+            self.particles["vx"] -= 0.5 * ex
+            self.particles["vy"] -= 0.5 * ey
+            self.particles["vz"] -= 0.5 * ez
+        except BaseException:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Release backend-held per-stepper resources (idempotent)."""
+        if getattr(self, "_closed", True):
+            return
+        self._closed = True
+        self.backend.release_stepper(self)
 
     # ------------------------------------------------------------------
     @property
@@ -152,14 +232,83 @@ class PICStepper3D:
     def _charge_factor(self) -> float:
         return self.q * self.weight / self.grid.cell_volume
 
+    @property
+    def n(self) -> int:
+        return len(self.particles["icell"])
+
     def _sort(self) -> None:
         order = np.argsort(self.particles["icell"], kind="stable")
-        for k in self.particles:
-            self.particles[k] = self.particles[k][order]
+        # scatter in place (arr[order] materializes first) so shared-
+        # memory arrays exported to numpy-mp workers keep their identity
+        for arr in self.particles.values():
+            arr[:] = arr[order]
 
-    def _accumulate(self) -> None:
-        self.fields.reset_rho()
+    # ------------------------------------------------------------------
+    # Phases (sl=None: whole population; else a chunk slice)
+    # ------------------------------------------------------------------
+    def _phase_update_v(self, sl: slice | None = None) -> None:
         p = self.particles
+        if sl is None:
+            sl = slice(None)
+        ex, ey, ez = self.backend.interpolate_redundant_3d(
+            self.fields.e_1d, p["icell"][sl], p["dx"][sl], p["dy"][sl], p["dz"][sl]
+        )
+        p["vx"][sl] += ex
+        p["vy"][sl] += ey
+        p["vz"][sl] += ez
+
+    def _phase_update_x(self, sl: slice | None = None) -> None:
+        p = self.particles
+        target = p if sl is None else {k: v[sl] for k, v in p.items()}
+        self.backend.push_positions_3d(
+            target, self.grid.shape, self.ordering,
+            variant=self.config.position_update,
+        )
+
+    def _phase_fused_chunk(self, sl: slice) -> None:
+        """One chunk through the fused NumPy sweep (kernels3d port)."""
+        view = {k: v[sl] for k, v in self.particles.items()}
+
+        def push(particles, shape, ordering, scale):
+            self.backend.push_positions_3d(
+                particles, shape, ordering, scale=scale,
+                variant=self.config.position_update,
+            )
+
+        fused_interp_kick_push_3d(
+            self.fields.e_1d, view, self.grid.shape, self.ordering, push=push
+        )
+
+    def _phase_fused_backend(self) -> None:
+        self.backend.fused_interp_kick_push_3d(
+            self.fields, self.particles, self.ordering,
+            self.config.position_update,
+        )
+
+    def _phase_accumulate(self) -> None:
+        """Whole-grid deposit through the same dispatch ladder as 2D:
+        tiled (density-aware per-block) when configured, the backend's
+        parallel cell-ownership kernel when offered, serial otherwise —
+        all bitwise-identical by construction."""
+        cfg = self.config
+        p = self.particles
+        if cfg.block_size > 0 and self.backend.supports("tiled_deposit"):
+            counts = self.backend.accumulate_redundant_tiled_3d(
+                self.fields.rho_1d, p["icell"], p["dx"], p["dy"], p["dz"],
+                self._charge_factor,
+                block_size=cfg.block_size,
+                thresholds=cfg.deposit_thresholds,
+                nthreads=cfg.deposit_threads,
+                partition=cfg.partition,
+            )
+            self.instrumentation.record_deposit_variants(counts)
+            return
+        if self.backend.supports("parallel_deposit"):
+            self.backend.accumulate_redundant_parallel_3d(
+                self.fields.rho_1d, p["icell"], p["dx"], p["dy"], p["dz"],
+                self._charge_factor,
+            )
+            return
         self.backend.accumulate_redundant_3d(
             self.fields.rho_1d, p["icell"], p["dx"], p["dy"], p["dz"],
             self._charge_factor,
@@ -173,14 +322,33 @@ class PICStepper3D:
         self.fields.load_field_from_grid(ex * sx, ey * sy, ez * sz)
 
     def _deposit_and_solve(self) -> None:
-        self._accumulate()
+        self.fields.reset_rho()
+        self._phase_accumulate()
         self._solve()
+
+    def _select_loop_path(self) -> str:
+        """Which particle-loop path this step will run.
+
+        Mirrors the 2D selector: ``"split"`` — three whole-array
+        passes; ``"fused-backend"`` — the backend's single-pass 3D
+        kernel (``fused3d`` capability); ``"fused-chunked"`` — the
+        fused NumPy sweep per cache-sized chunk.  ``loop_mode="auto"``
+        resolves to ``split`` (the 2D continuous tuner is not ported).
+        """
+        mode = self.config.loop_mode
+        if mode in ("auto", "split"):
+            return "split"
+        if self.backend.supports("fused3d"):
+            return "fused-backend"
+        return "fused-chunked"
 
     # ------------------------------------------------------------------
     def step(self) -> None:
+        cfg = self.config
         instr = self.instrumentation
-        p = self.particles
-        with instr.step(len(p["icell"])):
+        hook = self.phase_hook
+        n = self.n
+        with instr.step(n):
             with instr.phase("sort"):
                 if (
                     self.sort_period
@@ -188,20 +356,47 @@ class PICStepper3D:
                     and self.iteration % self.sort_period == 0
                 ):
                     self._sort()
-                    p = self.particles
-            with instr.phase("update_v"):
-                ex, ey, ez = self.backend.interpolate_redundant_3d(
-                    self.fields.e_1d, p["icell"], p["dx"], p["dy"], p["dz"]
-                )
-                p["vx"] += ex
-                p["vy"] += ey
-                p["vz"] += ez
-            with instr.phase("update_x"):
-                self.backend.push_positions_3d(p, self.grid.shape, self.ordering)
+            if hook is not None:
+                hook("sort", self)
+
+            self.fields.reset_rho()
+            path = self._select_loop_path()
+            instr.record_path(path)
+            if path == "split":
+                with instr.phase("update_v"):
+                    self._phase_update_v()
+                if hook is not None:
+                    hook("update_v", self)
+                with instr.phase("update_x"):
+                    self._phase_update_x()
+                if hook is not None:
+                    hook("update_x", self)
+            elif path == "fused-backend":
+                with instr.phase("fused"):
+                    self._phase_fused_backend()
+                if hook is not None:
+                    hook("fused", self)
+            else:  # fused-chunked
+                size = cfg.chunk_size
+                for lo in range(0, n, size):
+                    sl = slice(lo, min(lo + size, n))
+                    with instr.phase("update_v"):
+                        self._phase_update_v(sl)
+                    with instr.phase("update_x"):
+                        self._phase_update_x(sl)
+            # ONE whole-grid deposit on every path — this is what makes
+            # 3D fused bitwise-equal to split at any chunk count (the
+            # per-particle phases above are elementwise, and the deposit
+            # sees the identical arrays in the identical order)
             with instr.phase("accumulate"):
-                self._accumulate()
+                self._phase_accumulate()
+            if hook is not None:
+                hook("accumulate", self)
+
             with instr.phase("solve"):
                 self._solve()
+            if hook is not None:
+                hook("solve", self)
         self.iteration += 1
 
     def run(self, n_steps: int) -> None:

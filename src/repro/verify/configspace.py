@@ -23,7 +23,14 @@ import numpy as np
 
 from repro.core.config import OptimizationConfig
 from repro.grid.spec import GridSpec
-from repro.particles.initializers import GaussianBump, LandauDamping, TwoStream
+from repro.particles.initializers import (
+    BeamPlasma,
+    BoundedPlasma,
+    GaussianBump,
+    LandauDamping,
+    MagnetizedExB,
+    TwoStream,
+)
 
 __all__ = ["Scenario", "ScenarioSampler"]
 
@@ -39,8 +46,16 @@ _SORT_PERIODS = (0, 2, 3, 5)
 _SORT_VARIANTS = ("in-place", "out-of-place")
 #: ``gaussian-bump`` is the skewed-density load-balancing stress case:
 #: most particles clumped in one corner, so the partition axis below
-#: actually moves the deposit cuts it is supposed to exercise
-_CASE_POOL = ("landau", "two-stream", "gaussian-bump")
+#: actually moves the deposit cuts it is supposed to exercise.  The
+#: scenario-zoo cases (``bounded-wall``/``beam-plasma``/``exb-drift``)
+#: route the stepper through its reflecting-boundary, drifting-beam
+#: and Boris-rotation paths — each forces the split loop path, so
+#: every execution combo still runs an identical, bitwise-comparable
+#: phase sequence.
+_CASE_POOL = (
+    "landau", "two-stream", "gaussian-bump",
+    "bounded-wall", "beam-plasma", "exb-drift",
+)
 #: block sizes for the tiled deposit — weighted toward 0 (untiled)
 #: so most scenarios still exercise the classic whole-grid kernels;
 #: the nonzero entries hit per-cell, small-block, and large-block
@@ -57,6 +72,17 @@ _DEPOSIT_THREADS_POOL = (1, 2, 7)
 #: partition *flip* per scenario so flat vs curve-balanced is compared
 #: directly
 _PARTITION_POOL = ("flat", "curve", "curve-balanced")
+
+#: dimensionality axis — 2D-weighted (the paper's study is 2D; the 3D
+#: port rides along at one scenario in four so the sampled matrix
+#: always covers the 3D stepper without dominating the budget)
+_DIMS_POOL = (2, 2, 2, 3)
+#: 3D pools are narrower on purpose: power-of-two dims keep the
+#: bitwise push legal, and the 3D stepper ships exactly two orderings,
+#: the redundant layout, hoisted units, and the two classic cases
+_GRID3D_POOL = ((8, 4, 4), (16, 4, 4), (8, 8, 4))
+_ORDERING3D_POOL = ("row-major", "morton")
+_CASE3D_POOL = ("landau", "two-stream")
 
 
 @dataclass(frozen=True)
@@ -83,16 +109,39 @@ class Scenario:
     deposit_thresholds: tuple = (4.0, 64.0)
     deposit_threads: int = 1
     partition: str = "flat"
+    dims: int = 2  #: 2 -> PICStepper, 3 -> PICStepper3D
+    ncz: int = 1  #: z cell count (only meaningful when ``dims == 3``)
 
     def grid(self) -> GridSpec:
         return GridSpec(self.ncx, self.ncy, xmax=4 * np.pi, ymax=2 * np.pi)
+
+    def grid3d(self):
+        from repro.pic3d.grid3d import GridSpec3D
+
+        return GridSpec3D(
+            self.ncx, self.ncy, self.ncz,
+            xmax=4 * np.pi, ymax=2 * np.pi, zmax=2 * np.pi,
+        )
 
     def case(self):
         if self.case_name == "landau":
             return LandauDamping(alpha=0.1, vth=1.0)
         if self.case_name == "gaussian-bump":
             return GaussianBump()
+        if self.case_name == "bounded-wall":
+            return BoundedPlasma()
+        if self.case_name == "beam-plasma":
+            return BeamPlasma()
+        if self.case_name == "exb-drift":
+            return MagnetizedExB()
         return TwoStream(v0=2.4, vth=0.5, alpha=0.01)
+
+    def case3d(self):
+        from repro.pic3d.stepper3d import LandauDamping3D, TwoStream3D
+
+        if self.case_name == "landau":
+            return LandauDamping3D(alpha=0.1, vth=1.0)
+        return TwoStream3D()
 
     def config(self, backend: str = "numpy", workers: int | None = None,
                loop_mode: str | None = None) -> OptimizationConfig:
@@ -120,8 +169,11 @@ class Scenario:
         sort = f"sort{self.sort_period}" if self.sort_period else "nosort"
         tile = f" bs{self.block_size}" if self.block_size else ""
         part = f" {self.partition}" if self.partition != "flat" else ""
+        shape = f"{self.ncx}x{self.ncy}"
+        if self.dims == 3:
+            shape += f"x{self.ncz} 3d"
         return (
-            f"#{self.index} {self.case_name} {self.ncx}x{self.ncy} "
+            f"#{self.index} {self.case_name} {shape} "
             f"n={self.n_particles} {self.ordering}/{self.field_layout}/"
             f"{self.loop_mode}/{self.position_update} "
             f"{'hoist' if self.hoisting else 'nohoist'} {sort}{tile}{part}"
@@ -155,6 +207,9 @@ class ScenarioSampler:
         return pool[int(self._rng.integers(len(pool)))]
 
     def sample_one(self) -> Scenario:
+        dims = int(self._pick(_DIMS_POOL))
+        if dims == 3:
+            return self._sample_one_3d()
         ncx, ncy = self._pick(_GRID_POOL)
         scenario = Scenario(
             index=self._count,
@@ -176,6 +231,42 @@ class ScenarioSampler:
             deposit_thresholds=self._pick(_THRESHOLD_POOL),
             deposit_threads=int(self._pick(_DEPOSIT_THREADS_POOL)),
             partition=self._pick(_PARTITION_POOL),
+        )
+        self._count += 1
+        return scenario
+
+    def _sample_one_3d(self) -> Scenario:
+        """One 3D scenario — the axes the 3D stepper actually offers.
+
+        The layout is always redundant and units always hoisted (the
+        3D stepper's two hard constraints); the remaining knobs (loop
+        path, push variant, sorting, tiled deposit, partition) sweep
+        the same pools as 2D so the promise matrix covers the ported
+        dispatch ladder end to end.
+        """
+        ncx, ncy, ncz = self._pick(_GRID3D_POOL)
+        scenario = Scenario(
+            index=self._count,
+            ncx=ncx,
+            ncy=ncy,
+            n_particles=int(self._pick(self.n_particles_pool)),
+            n_steps=int(self._pick(self.n_steps_pool)),
+            case_name=self._pick(_CASE3D_POOL),
+            ordering=self._pick(_ORDERING3D_POOL),
+            field_layout="redundant",
+            loop_mode=self._pick(_LOOP_POOL),
+            position_update=self._pick(_PUSH_POOL),
+            hoisting=True,
+            sort_period=int(self._pick(_SORT_PERIODS)),
+            sort_variant="out-of-place",
+            chunk_size=8192,
+            seed=int(self._rng.integers(2**31)),
+            block_size=int(self._pick(_BLOCK_POOL)),
+            deposit_thresholds=self._pick(_THRESHOLD_POOL),
+            deposit_threads=int(self._pick(_DEPOSIT_THREADS_POOL)),
+            partition=self._pick(_PARTITION_POOL),
+            dims=3,
+            ncz=ncz,
         )
         self._count += 1
         return scenario

@@ -32,6 +32,15 @@ scalar ReferenceStepper             bitwise (checked separately in tests;
                                     too slow for the sampled matrix)
 ==================================  =========================================
 
+3D scenarios (``Scenario.dims == 3``) run the same lockstep drive over
+:class:`~repro.pic3d.stepper3d.PICStepper3D` with two promises
+*strengthened* relative to 2D: the numpy fused path is bitwise at
+**every** population size (the 3D fused-chunked loop defers one
+whole-grid deposit past the chunk loop, so chunking is purely
+elementwise), and the ``numpy-mp`` cell-ownership deposit is pinned
+bitwise at **both 2 and 4 workers** per scenario (the acceptance bar
+for the 3D port).
+
 Because the steppers advance in lockstep with
 :attr:`~repro.core.stepper.PICStepper.phase_hook` capture, a
 divergence is attributed on the spot: the report names the first
@@ -73,6 +82,15 @@ _PHASE_ORDER = ("sort", "update_v", "update_x", "fused", "accumulate", "solve")
 
 #: particle arrays captured at every phase checkpoint
 _PARTICLE_ARRAYS = ("icell", "dx", "dy", "vx", "vy")
+
+#: their 3D counterparts (the stepper's dict-of-arrays storage)
+_PARTICLE_ARRAYS_3D = ("icell", "dx", "dy", "dz", "vx", "vy", "vz")
+
+
+def _particle_array(stepper, name: str) -> np.ndarray:
+    """One particle array, from attribute (2D) or dict (3D) storage."""
+    p = stepper.particles
+    return p[name] if isinstance(p, dict) else np.asarray(getattr(p, name))
 
 
 @dataclass(frozen=True)
@@ -118,7 +136,7 @@ class Perturbation:
     factor: float | None = None  #: None -> one-ULP nextafter bump
 
     def apply(self, stepper) -> None:
-        arr = np.asarray(getattr(stepper.particles, self.array))
+        arr = _particle_array(stepper, self.array)
         if self.factor is None:
             arr[:] = np.nextafter(arr, np.inf)
         else:
@@ -202,11 +220,21 @@ class _Run:
             cfg = replace(cfg, block_size=combo.block_size)
         if combo.partition is not None:
             cfg = replace(cfg, partition=combo.partition)
-        self.stepper = PICStepper(
-            scenario.grid(), cfg,
-            case=scenario.case(), n_particles=scenario.n_particles,
-            dt=scenario.dt, seed=scenario.seed, quiet=True,
-        )
+        if scenario.dims == 3:
+            from repro.pic3d.stepper3d import PICStepper3D
+
+            self.arrays = _PARTICLE_ARRAYS_3D
+            self.stepper = PICStepper3D(
+                scenario.grid3d(), scenario.case3d(), scenario.n_particles,
+                dt=scenario.dt, config=cfg,
+            )
+        else:
+            self.arrays = _PARTICLE_ARRAYS
+            self.stepper = PICStepper(
+                scenario.grid(), cfg,
+                case=scenario.case(), n_particles=scenario.n_particles,
+                dt=scenario.dt, seed=scenario.seed, quiet=True,
+            )
         self.stepper.phase_hook = self._hook
         self.phase_states: dict[str, dict[str, np.ndarray]] = {}
         self.step_index = 0
@@ -214,11 +242,11 @@ class _Run:
     def _snapshot(self, phase: str) -> dict[str, np.ndarray]:
         st = self.stepper
         state = {
-            name: np.array(getattr(st.particles, name))
-            for name in _PARTICLE_ARRAYS
+            name: np.array(_particle_array(st, name))
+            for name in self.arrays
         }
         if phase in ("accumulate", "solve"):
-            if st.fields.layout == "redundant":
+            if st.fields.layout.startswith("redundant"):
                 state["rho_raw"] = np.array(st.fields.rho_1d)
             else:
                 state["rho_raw"] = np.array(st.fields.rho)
@@ -226,6 +254,9 @@ class _Run:
             state["rho_grid"] = np.array(st.rho_grid)
             state["ex_grid"] = np.array(st.ex_grid)
             state["ey_grid"] = np.array(st.ey_grid)
+            ez = getattr(st, "ez_grid", None)
+            if ez is not None:
+                state["ez_grid"] = np.array(ez)
         return state
 
     def _hook(self, phase: str, stepper) -> None:
@@ -285,6 +316,8 @@ class DifferentialRunner:
         combo is compared against it.
         """
         avail = set(available_backends())
+        if scenario.dims == 3:
+            return self._combos_3d(scenario, avail)
         combos: list[tuple[Combo, str]] = []
         # fused-vs-split on the reference backend: bitwise promise only
         # while the whole population fits one chunk
@@ -330,6 +363,44 @@ class DifferentialRunner:
                        partition=part_flip),
                  "bitwise")
             )
+        return combos
+
+    def _combos_3d(self, scenario: Scenario,
+                   avail: set) -> list[tuple[Combo, str]]:
+        """The 3D promise matrix for one scenario.
+
+        Differences from 2D, both strengthenings: the fused path is
+        bitwise at *any* population size (the 3D fused-chunked loop
+        defers one whole-grid deposit past the chunk loop), and the
+        ``numpy-mp`` cell-ownership deposit is pinned at both 2 and 4
+        workers.  No sort-variant flip — the 3D stepper has a single
+        stable argsort.
+        """
+        combos: list[tuple[Combo, str]] = [
+            (Combo("numpy", loop_mode="fused"), "bitwise"),
+        ]
+        part_flip = (
+            "curve-balanced" if scenario.partition != "curve-balanced"
+            else "flat"
+        )
+        if "numpy-mp" in avail and self.include_mp:
+            combos.append(
+                (Combo("numpy-mp", loop_mode="split", workers=2,
+                       partition=part_flip),
+                 "bitwise")
+            )
+            combos.append(
+                (Combo("numpy-mp", loop_mode="split", workers=4), "bitwise")
+            )
+        if "numba" in avail:
+            combos.append((Combo("numba", loop_mode="split"), "tolerance"))
+            combos.append((Combo("numba", loop_mode="fused"), "tolerance"))
+        alt_block = 4 if scenario.block_size != 4 else 16
+        combos.append(
+            (Combo("numpy", loop_mode="split", block_size=alt_block,
+                   partition=part_flip),
+             "bitwise")
+        )
         return combos
 
     # -- comparison ---------------------------------------------------
@@ -378,15 +449,16 @@ class DifferentialRunner:
             for step in range(scenario.n_steps):
                 if scenario.sort_period and step and step % scenario.sort_period == 0:
                     prev_particles = {
-                        name: np.array(getattr(base.stepper.particles, name))
-                        for name in _PARTICLE_ARRAYS
+                        name: np.array(_particle_array(base.stepper, name))
+                        for name in base.arrays
                     }
                 else:
                     prev_particles = None
                 base.step()
                 if prev_particles is not None:
                     good = _is_permutation(
-                        prev_particles, base.phase_states["sort"]
+                        prev_particles, base.phase_states["sort"],
+                        names=base.arrays,
                     )
                     sort_ok = good if sort_ok is None else (sort_ok and good)
                 for combo, rel, run in pairs:
@@ -426,14 +498,15 @@ class DifferentialRunner:
 
 
 def _is_permutation(before: dict[str, np.ndarray],
-                    after: dict[str, np.ndarray]) -> bool:
+                    after: dict[str, np.ndarray],
+                    names: tuple[str, ...] = _PARTICLE_ARRAYS) -> bool:
     """True iff ``after`` is exactly a reordering of ``before``.
 
-    Rows are (icell, dx, dy, vx, vy) tuples; both sides are brought to
+    Rows are particle tuples over ``names``; both sides are brought to
     the same canonical row order by a stable lexsort and compared
     bitwise — the counting sort must move particles, never touch them.
     """
-    names = list(_PARTICLE_ARRAYS)
+    names = list(names)
 
     def canonical(state):
         keys = tuple(state[n] for n in reversed(names))

@@ -1,7 +1,8 @@
 """Golden-run regression artifacts: committed digests of the reference path.
 
 A golden document pins one small, named simulation (`landau`,
-`two_stream`) as JSON: the exact generator parameters, a **per-step
+`two_stream`, `gaussian_bump`, and the scenario-zoo cases
+`bounded_wall`, `beam_plasma`, `exb_drift`) as JSON: the exact generator parameters, a **per-step
 sha256 digest** of the full canonical state (particle arrays + solved
 grids) from the reference path (numpy backend, split loops), and the
 per-step diagnostic series (field/kinetic energy, mode amplitude) as
@@ -35,7 +36,14 @@ import numpy as np
 from repro.core.config import OptimizationConfig
 from repro.core.simulation import Simulation
 from repro.grid.spec import GridSpec
-from repro.particles.initializers import LandauDamping, TwoStream
+from repro.particles.initializers import (
+    BeamPlasma,
+    BoundedPlasma,
+    GaussianBump,
+    LandauDamping,
+    MagnetizedExB,
+    TwoStream,
+)
 
 __all__ = [
     "GOLDEN_SCHEMA",
@@ -62,7 +70,10 @@ _SERIES_TOLERANCES = {
 }
 
 #: the named golden scenarios (small on purpose: the gate must cost
-#: seconds, and sensitivity comes from the digests, not the run size)
+#: seconds, and sensitivity comes from the digests, not the run size).
+#: ``xmax_pi``/``ymax_pi`` default to the classic 4pi x 2pi box; the
+#: beam case uses its resonant 10pi box so the pinned run exercises
+#: the same mode the acceptance oracle measures.
 _CASES = {
     "landau": dict(
         case="landau", alpha=0.1, ncx=32, ncy=8,
@@ -72,6 +83,34 @@ _CASES = {
         case="two_stream", alpha=0.01, ncx=32, ncy=8,
         n_particles=3000, n_steps=40, dt=0.05, seed=0,
     ),
+    "gaussian_bump": dict(
+        case="gaussian_bump", ncx=32, ncy=8,
+        n_particles=3000, n_steps=40, dt=0.05, seed=0,
+    ),
+    "bounded_wall": dict(
+        case="bounded_wall", ncx=32, ncy=8,
+        n_particles=3000, n_steps=40, dt=0.05, seed=0,
+    ),
+    "beam_plasma": dict(
+        case="beam_plasma", alpha=1e-3, ncx=32, ncy=8,
+        n_particles=3000, n_steps=40, dt=0.05, seed=0, xmax_pi=10,
+    ),
+    "exb_drift": dict(
+        case="exb_drift", ncx=32, ncy=8,
+        n_particles=3000, n_steps=40, dt=0.05, seed=0,
+    ),
+}
+
+#: golden-case name -> initial-condition factory (reads the generator
+#: params recorded in the document, so a committed JSON is self-
+#: describing and regeneration cannot drift from the check)
+_CASE_FACTORIES = {
+    "landau": lambda p: LandauDamping(alpha=p["alpha"], vth=1.0),
+    "two_stream": lambda p: TwoStream(v0=2.4, vth=0.5, alpha=p["alpha"]),
+    "gaussian_bump": lambda p: GaussianBump(),
+    "bounded_wall": lambda p: BoundedPlasma(),
+    "beam_plasma": lambda p: BeamPlasma(alpha=p["alpha"]),
+    "exb_drift": lambda p: MagnetizedExB(),
 }
 
 
@@ -87,11 +126,9 @@ def default_golden_dir() -> Path:
 
 def _build_simulation(params: dict, backend: str) -> Simulation:
     grid = GridSpec(params["ncx"], params["ncy"],
-                    xmax=4 * np.pi, ymax=2 * np.pi)
-    if params["case"] == "landau":
-        case = LandauDamping(alpha=params["alpha"], vth=1.0)
-    else:
-        case = TwoStream(v0=2.4, vth=0.5, alpha=params["alpha"])
+                    xmax=params.get("xmax_pi", 4) * np.pi,
+                    ymax=params.get("ymax_pi", 2) * np.pi)
+    case = _CASE_FACTORIES[params["case"]](params)
     config = OptimizationConfig.fully_optimized("morton").with_(
         backend=backend, loop_mode="split"
     )

@@ -1,0 +1,205 @@
+"""3D feature-parity acceptance tests (the tentpole guarantees).
+
+The 3D port's acceptance bar, enforced directly:
+
+* the fused loop path is **bitwise identical** to the split path at
+  every population size — including populations spanning many chunks
+  (the 3D fused-chunked loop defers one whole-grid deposit past the
+  chunk loop, so chunking is purely elementwise);
+* the ``numpy-mp`` cell-ownership deposit is **bitwise identical** to
+  the serial deposit at both 2 and 4 workers;
+* the tiled density-aware deposit is bitwise at any block size;
+* the differential-verify machinery covers 3D: the sampler emits 3D
+  scenarios, the runner's 3D promise matrix pins the combos above, and
+  the bisector localizes an injected 3D perturbation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OptimizationConfig
+from repro.pic3d import GridSpec3D, PICStepper3D, TwoStream3D
+from repro.pic3d.stepper3d import PARTICLE_KEYS_3D
+from repro.verify.configspace import Scenario, ScenarioSampler
+from repro.verify.differ import DifferentialRunner, Perturbation
+
+
+def _grid(ncx=8, ncy=4, ncz=4):
+    return GridSpec3D(ncx, ncy, ncz,
+                      xmax=4 * np.pi, ymax=2 * np.pi, zmax=2 * np.pi)
+
+
+def _config(**overrides):
+    params = dict(
+        field_layout="redundant", ordering="morton", loop_mode="split",
+        position_update="bitwise", hoisting=True, sort_period=3,
+        backend="numpy",
+    )
+    params.update(overrides)
+    return OptimizationConfig(**params)
+
+
+def _assert_state_equal(a, b, context=""):
+    for key in PARTICLE_KEYS_3D:
+        assert np.asarray(a.particles[key]).tobytes() == \
+            np.asarray(b.particles[key]).tobytes(), (context, key)
+    for name in ("rho_grid", "ex_grid", "ey_grid", "ez_grid"):
+        assert np.asarray(getattr(a, name)).tobytes() == \
+            np.asarray(getattr(b, name)).tobytes(), (context, name)
+
+
+def _run_pair(cfg_a, cfg_b, n=1200, steps=6, grid=None):
+    grid = grid or _grid()
+    a = PICStepper3D(grid, TwoStream3D(), n, dt=0.1, config=cfg_a)
+    b = PICStepper3D(grid, TwoStream3D(), n, dt=0.1, config=cfg_b)
+    try:
+        for step in range(steps):
+            a.step()
+            b.step()
+            _assert_state_equal(a, b, context=f"step {step}")
+    finally:
+        a.close()
+        b.close()
+
+
+class TestFusedSplitParity:
+    def test_fused_bitwise_equals_split_single_chunk(self):
+        _run_pair(_config(loop_mode="split"), _config(loop_mode="fused"))
+
+    def test_fused_bitwise_equals_split_multi_chunk(self):
+        """The strengthened 3D promise: bitwise at n >> chunk_size."""
+        _run_pair(
+            _config(loop_mode="split", chunk_size=128),
+            _config(loop_mode="fused", chunk_size=128),
+            n=1000,
+        )
+
+    @pytest.mark.parametrize("push", ["branch", "modulo", "bitwise"])
+    def test_fused_parity_every_push_variant(self, push):
+        _run_pair(
+            _config(loop_mode="split", position_update=push),
+            _config(loop_mode="fused", position_update=push, chunk_size=256),
+            n=800, steps=4,
+        )
+
+    def test_loop_path_dispatch(self):
+        grid = _grid()
+        split = PICStepper3D(grid, TwoStream3D(), 100,
+                             config=_config(loop_mode="split"))
+        fused = PICStepper3D(grid, TwoStream3D(), 100,
+                             config=_config(loop_mode="fused"))
+        auto = PICStepper3D(grid, TwoStream3D(), 100,
+                            config=_config(loop_mode="auto"))
+        try:
+            assert split._select_loop_path() == "split"
+            assert fused._select_loop_path() in (
+                "fused-backend", "fused-chunked"
+            )
+            assert auto._select_loop_path() == "split"
+        finally:
+            split.close()
+            fused.close()
+            auto.close()
+
+
+class TestMpDepositParity:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_mp_deposit_bitwise_vs_serial(self, workers):
+        """The acceptance bar: numpy-mp == serial at 2 and 4 workers."""
+        _run_pair(
+            _config(backend="numpy"),
+            _config(backend="numpy-mp", workers=workers),
+            n=1500, steps=5,
+        )
+
+    def test_mp_deposit_bitwise_curve_balanced_partition(self):
+        _run_pair(
+            _config(backend="numpy"),
+            _config(backend="numpy-mp", workers=3,
+                    partition="curve-balanced"),
+            n=1000, steps=4,
+        )
+
+
+class TestTiledDepositParity:
+    @pytest.mark.parametrize("block", [1, 4, 64])
+    def test_tiled_bitwise_any_block_size(self, block):
+        _run_pair(
+            _config(block_size=0),
+            _config(block_size=block),
+            n=1000, steps=4,
+        )
+
+    def test_tiled_threshold_and_partition_flips_bitwise(self):
+        _run_pair(
+            _config(block_size=4, deposit_thresholds=(0.0, 0.0)),
+            _config(block_size=16, deposit_thresholds=(1e30, 2e30),
+                    partition="curve-balanced"),
+            n=900, steps=4,
+        )
+
+
+def _scenario_3d(**overrides) -> Scenario:
+    params = dict(
+        index=0, ncx=8, ncy=4, n_particles=1200, n_steps=5,
+        case_name="two-stream", ordering="morton", field_layout="redundant",
+        loop_mode="split", position_update="bitwise", hoisting=True,
+        sort_period=2, sort_variant="out-of-place", chunk_size=8192,
+        seed=1, dims=3, ncz=4,
+    )
+    params.update(overrides)
+    return Scenario(**params)
+
+
+class TestDiffer3D:
+    def test_sampler_emits_legal_3d_scenarios(self):
+        samples = ScenarioSampler(seed=5).sample(40)
+        three_d = [s for s in samples if s.dims == 3]
+        assert three_d, "the dims axis must produce 3D scenarios"
+        for s in three_d:
+            grid = s.grid3d()
+            assert grid.pow2
+            assert s.field_layout == "redundant"
+            assert s.hoisting is True
+            assert s.case_name in ("landau", "two-stream")
+            assert s.case3d() is not None
+            assert "3d" in s.label()
+
+    def test_3d_promise_matrix_pins_mp_at_2_and_4_workers(self):
+        runner = DifferentialRunner(include_mp=True)
+        combos = runner.combos(_scenario_3d())
+        mp = [(c.workers, rel) for c, rel in combos if c.backend == "numpy-mp"]
+        assert (2, "bitwise") in mp and (4, "bitwise") in mp
+
+    def test_3d_fused_promised_bitwise_at_any_population(self):
+        runner = DifferentialRunner(include_mp=False)
+        for n in (100, 50_000):
+            combos = dict(
+                (c.backend + "/" + (c.loop_mode or ""), rel)
+                for c, rel in runner.combos(_scenario_3d(n_particles=n))
+            )
+            assert combos["numpy/fused"] == "bitwise", n
+
+    def test_3d_scenario_passes_promise_matrix(self):
+        runner = DifferentialRunner(include_mp=False)
+        report = runner.run_scenario(_scenario_3d())
+        assert report.ok, report.describe()
+        assert report.sort_permutation_ok is True
+
+    def test_3d_bisection_localizes_injection(self):
+        runner = DifferentialRunner(include_mp=False)
+        report = runner.run_scenario(
+            _scenario_3d(sort_period=0),
+            perturbation=Perturbation(step=1, phase="accumulate",
+                                      array="dz", factor=1.0 + 1e-9),
+        )
+        bad = [p for p in report.pairs if not p.ok]
+        assert bad, "3D perturbation must be detected"
+        assert all(p.divergence.step == 1 for p in bad)
+        assert all(p.divergence.phase == "accumulate" for p in bad)
+
+    @pytest.mark.verify_full
+    def test_3d_promise_matrix_with_mp(self):
+        runner = DifferentialRunner(include_mp=True)
+        report = runner.run_scenario(_scenario_3d(n_particles=2000))
+        assert report.ok, report.describe()

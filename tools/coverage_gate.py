@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Coverage gate: line-coverage floor on the 3D port and verify layer.
+
+Runs the test files that exercise ``repro.pic3d`` (the 3D stepper,
+kernels, orderings, checkpoints) and ``repro.verify`` (sampler,
+differential runner, golden gate, oracles) under ``pytest-cov`` and
+fails if combined line coverage over those two packages drops below
+the floor — the subsystems whose correctness story *is* their test
+coverage must not quietly grow untested surface.
+
+Environments without ``pytest-cov`` (the gate must never require an
+install) are skipped with exit 0 and a message, mirroring how the
+verify gate skips non-importable backends.
+
+Exit codes: 0 = floor met or pytest-cov unavailable, 1 = coverage
+below floor or tests failed.  Wired into ``make coverage`` (and
+``make check``).
+"""
+
+import argparse
+import importlib.util
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: combined line-coverage floor (percent) over the target packages
+DEFAULT_FLOOR = 80
+
+#: the packages held to the floor
+COVER_TARGETS = ("repro.pic3d", "repro.verify")
+
+#: the test files that exercise them (kept explicit so the gate stays
+#: seconds, not the whole tier-1 suite)
+TEST_FILES = (
+    "tests/test_pic3d.py",
+    "tests/test_pic3d_parity.py",
+    "tests/test_checkpoint3d.py",
+    "tests/test_scenario_zoo.py",
+    "tests/test_verify_differential.py",
+    "tests/test_verify_oracles.py",
+)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--floor", type=int, default=DEFAULT_FLOOR,
+                    help=f"minimum combined line coverage in percent "
+                         f"(default: {DEFAULT_FLOOR})")
+    args = ap.parse_args(argv)
+
+    if importlib.util.find_spec("pytest_cov") is None:
+        print("coverage-gate: SKIP — pytest-cov not importable in this "
+              "environment (floor not enforced)")
+        return 0
+
+    cmd = [sys.executable, "-m", "pytest", "-q"]
+    for target in COVER_TARGETS:
+        cmd.append(f"--cov={target}")
+    cmd += [
+        "--cov-report=term",
+        f"--cov-fail-under={args.floor}",
+        *TEST_FILES,
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(cmd, cwd=ROOT, env=env)
+    if proc.returncode:
+        print(f"coverage-gate: FAIL — tests failed or combined line "
+              f"coverage of {', '.join(COVER_TARGETS)} fell below "
+              f"{args.floor}%")
+        return 1
+    print(f"coverage-gate: PASS — {', '.join(COVER_TARGETS)} at or above "
+          f"{args.floor}% line coverage")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
